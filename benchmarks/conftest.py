@@ -1,0 +1,45 @@
+"""Shared configuration for the table/figure regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it (uncaptured) and archives it under ``results/``.  Scale is controlled
+by ``REPRO_BENCH_ITERATIONS`` / ``REPRO_BENCH_SEEDS`` so the default run
+finishes in minutes while a full run reproduces the EXPERIMENTS.md
+numbers.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import RunConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Default bench scale; REPRO_BENCH_ITERATIONS=600 reproduces the
+#: EXPERIMENTS.md tables.
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "500"))
+BENCH_SEEDS = tuple(
+    range(1, 1 + int(os.environ.get("REPRO_BENCH_SEEDS", "1")))
+)
+
+
+def bench_config(**overrides) -> RunConfig:
+    defaults = dict(iterations=BENCH_ITERATIONS, ref_seeds=BENCH_SEEDS)
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a regenerated table/figure past pytest's capture and archive
+    it in results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return _emit

@@ -1,0 +1,86 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.analysis import render_table
+from repro.experiments.ablations import (
+    dbb_occupancy,
+    hoist_depth_sweep,
+    push_down_ablation,
+    selection_threshold_sweep,
+)
+
+from conftest import bench_config
+
+
+def test_ablation_hoist_depth(benchmark, emit):
+    config = bench_config()
+    sweep = benchmark.pedantic(
+        lambda: hoist_depth_sweep("omnetpp", config=config),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[str(d), f"{s:.2f}"] for d, s in sweep]
+    emit(
+        "ablation_hoist_depth",
+        render_table(["hoist budget", "speedup%"], rows,
+                     title="Hoist-depth sweep (omnetpp)"),
+    )
+    by_depth = dict(sweep)
+    # No hoisting => essentially no benefit; full budget is the best or
+    # near-best point.
+    assert by_depth[0] < max(by_depth.values()) - 0.5
+    assert by_depth[12] >= max(by_depth.values()) - 2.0
+
+
+def test_ablation_selection_threshold(benchmark, emit):
+    config = bench_config()
+    sweep = benchmark.pedantic(
+        lambda: selection_threshold_sweep("h264ref", config=config),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[f"{t:.2f}", str(c), f"{s:.2f}"] for t, c, s in sweep]
+    emit(
+        "ablation_selection_threshold",
+        render_table(["threshold", "converted", "speedup%"], rows,
+                     title="Selection-threshold sweep (paper rule: 0.05)"),
+    )
+    conversions = [c for _, c, _ in sweep]
+    # Monotone: tightening the threshold can only drop conversions.
+    assert conversions == sorted(conversions, reverse=True)
+    # The paper's 5% point converts a healthy subset.
+    five_percent = dict((t, c) for t, c, _ in sweep)[0.05]
+    assert five_percent >= 1
+
+
+def test_ablation_push_down(benchmark, emit):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: push_down_ablation("omnetpp", config=config),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[k, f"{v:.2f}"] for k, v in result.items()]
+    emit(
+        "ablation_push_down",
+        render_table(["variant", "speedup%"], rows,
+                     title="Resolution-slice push-down ablation"),
+    )
+    assert set(result) == {"with-push-down", "without"}
+
+
+def test_ablation_dbb_sizing(benchmark, emit):
+    config = bench_config()
+    occupancy = benchmark.pedantic(
+        lambda: dbb_occupancy("h264ref", config=config),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[str(n), str(m)] for n, m in occupancy]
+    emit(
+        "ablation_dbb_sizing",
+        render_table(["DBB entries", "max outstanding"], rows,
+                     title="DBB sizing (paper: 16 entries suffice)"),
+    )
+    # Back-pressure keeps outstanding decomposed branches far below 16.
+    sixteen = dict(occupancy)[16]
+    assert sixteen <= 16

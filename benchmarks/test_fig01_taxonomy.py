@@ -1,0 +1,20 @@
+"""Figure 1: branch taxonomy quadrant census over SPEC 2006 INT."""
+
+from repro.core import BranchClass
+from repro.experiments.taxonomy import run as run_taxonomy
+
+from conftest import bench_config
+
+
+def test_fig01_taxonomy(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_taxonomy("int2006", config=bench_config()),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig01_taxonomy", result.render())
+    totals = result.totals()
+    # All three populated quadrants of Figure 1 are represented.
+    assert totals[BranchClass.SUPERBLOCK] > 0
+    assert totals[BranchClass.DECOMPOSE] > 0
+    assert totals[BranchClass.PREDICATE] > 0

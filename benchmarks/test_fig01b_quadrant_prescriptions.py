@@ -1,0 +1,32 @@
+"""Figure 1, validated empirically: each quadrant's prescribed treatment
+wins on its own quadrant.
+
+* unbiased-but-predictable  -> the decomposed branch transformation wins;
+* unbiased-and-unpredictable -> predication (if-conversion) wins;
+* highly-biased -> neither fires (superblock layout already handles it).
+"""
+
+from repro.experiments.quadrants import run as run_quadrants
+
+from conftest import bench_config
+
+
+def test_fig01b_quadrant_prescriptions(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_quadrants(bench_config(iterations=800)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig01b_quadrant_prescriptions", result.render())
+
+    predictable = result.row("unbiased-predictable")
+    assert predictable.decomposed_speedup > 2.0
+    assert predictable.decomposed_speedup > predictable.predicated_speedup
+
+    unpredictable = result.row("unbiased-unpredictable")
+    assert unpredictable.predicated_speedup > 2.0
+    assert unpredictable.predicated_speedup > unpredictable.decomposed_speedup
+
+    biased = result.row("highly-biased")
+    assert abs(biased.decomposed_speedup) < 2.0
+    assert abs(biased.predicated_speedup) < 2.0

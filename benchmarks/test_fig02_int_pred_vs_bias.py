@@ -1,0 +1,26 @@
+"""Figure 2: predictability vs bias, top 75 forward branches, SPEC06 INT.
+
+Expected shape: the two curves coincide over the high-bias head, then bias
+falls away sharply while predictability stays high.
+"""
+
+from repro.experiments.pred_vs_bias import run as run_curves
+
+
+def test_fig02_int_pred_vs_bias(benchmark, emit):
+    curve = benchmark.pedantic(
+        lambda: run_curves("int2006", stream_length=1500),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig02_int_pred_vs_bias", curve.render())
+
+    # Head of the curve: highly biased, predictability tracks bias.
+    assert curve.bias[0] > 0.93
+    assert abs(curve.predictability[0] - curve.bias[0]) < 0.05
+    # Tail: bias dives toward 0.5; predictability stays well above it.
+    assert curve.bias[-1] < 0.70
+    assert curve.predictability[-1] - curve.bias[-1] > 0.05
+    # The divergence begins somewhere past the head.
+    assert curve.crossover_rank() is not None
+    assert curve.crossover_rank() > 5

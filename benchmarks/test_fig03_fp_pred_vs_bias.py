@@ -1,0 +1,27 @@
+"""Figure 3: predictability vs bias, top 75 forward branches, SPEC06 FP.
+
+FP branch populations are more biased overall than INT (fewer candidate
+branches), but the tail gap is still there -- and FP predictability stays
+higher than INT's.
+"""
+
+from repro.experiments.pred_vs_bias import run as run_curves
+
+
+def test_fig03_fp_pred_vs_bias(benchmark, emit):
+    fp = benchmark.pedantic(
+        lambda: run_curves("fp2006", stream_length=1500),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig03_fp_pred_vs_bias", fp.render())
+
+    assert fp.bias[0] > 0.93
+    assert fp.predictability[-1] - fp.bias[-1] > 0.05
+
+    # Cross-suite comparison from the paper: FP stays more predictable in
+    # the tail than INT.
+    int_curve = run_curves("int2006", stream_length=1500)
+    fp_tail = sum(fp.predictability[-15:]) / 15
+    int_tail = sum(int_curve.predictability[-15:]) / 15
+    assert fp_tail >= int_tail - 0.03

@@ -1,0 +1,34 @@
+"""Figure 8: SPEC 2006 INT speedup over baseline, all REF inputs,
+2/4/8-wide.
+
+Shape: positive geomean at every width (paper: ~11% at 4-wide), and the
+hard floor benchmarks (hmmer, libquantum) sit at the bottom.
+"""
+
+from repro.analysis import geomean_speedup
+from repro.experiments.speedups import run_figure
+
+from conftest import bench_config
+
+
+def test_fig08_int06_speedup(benchmark, emit):
+    config = bench_config(widths=(2, 4, 8))
+    figure = benchmark.pedantic(
+        lambda: run_figure("fig8", config), rounds=1, iterations=1
+    )
+    emit("fig08_int06_speedup", figure.render())
+
+    for width in (2, 4, 8):
+        assert figure.geomean(width) > 0.0, f"width {width}"
+
+    four_wide = dict(figure.series[4])
+    # The paper's bottom pair (hmmer, libquantum: few eligible branches,
+    # little hoistable work) underperforms the suite average.
+    import statistics
+
+    bottom = statistics.mean(
+        (four_wide["hmmer"], four_wide["libquantum"])
+    )
+    assert bottom < statistics.mean(four_wide.values())
+    # And the winners win by a visible margin.
+    assert max(four_wide.values()) > 5.0

@@ -1,0 +1,23 @@
+"""Figure 9: SPEC 2006 INT speedup for the top-performing REF input.
+
+Best-input bars dominate the all-input means of Figure 8 (bias varies by
+input, Section 5.1)."""
+
+from repro.experiments.speedups import run_figure
+
+from conftest import bench_config
+
+
+def test_fig09_int06_best_input(benchmark, emit):
+    config = bench_config(widths=(4,), ref_seeds=(1, 2))
+    figure = benchmark.pedantic(
+        lambda: run_figure("fig9", config), rounds=1, iterations=1
+    )
+    emit("fig09_int06_best_input", figure.render())
+
+    best = dict(figure.series[4])
+    mean_figure = run_figure("fig8", config)
+    mean = dict(mean_figure.series[4])
+    for name in best:
+        assert best[name] >= mean[name] - 1e-9, name
+    assert figure.geomean(4) >= mean_figure.geomean(4)

@@ -1,0 +1,25 @@
+"""Figure 10: SPEC 2000 INT speedup, all REF inputs, 4-wide.
+
+The paper finds SPEC 2000 INT better behaved (higher predictability, lower
+D$ misses) than SPEC 2006, with positive geomean; twolf/vpr trail."""
+
+from repro.experiments.speedups import run_figure
+
+from conftest import bench_config
+
+
+def test_fig10_int00_speedup(benchmark, emit):
+    figure = benchmark.pedantic(
+        lambda: run_figure("fig10", bench_config(widths=(4,))),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig10_int00_speedup", figure.render())
+
+    assert figure.geomean(4) > 0.0
+    values = dict(figure.series[4])
+    ranked = [name for name, _ in figure.series[4]]
+    # The paper's laggards (few eligible branches + high D$ misses).
+    assert ranked.index("twolf00") >= 6
+    assert ranked.index("vpr00") >= 6
+    assert len(values) == 12

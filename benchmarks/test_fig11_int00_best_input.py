@@ -1,0 +1,18 @@
+"""Figure 11: SPEC 2000 INT speedup, best-performing REF input, 4-wide."""
+
+from repro.experiments.speedups import run_figure
+
+from conftest import bench_config
+
+
+def test_fig11_int00_best_input(benchmark, emit):
+    config = bench_config(widths=(4,), ref_seeds=(1, 2))
+    figure = benchmark.pedantic(
+        lambda: run_figure("fig11", config), rounds=1, iterations=1
+    )
+    emit("fig11_int00_best_input", figure.render())
+
+    best = dict(figure.series[4])
+    mean = dict(run_figure("fig10", config).series[4])
+    for name in best:
+        assert best[name] >= mean[name] - 1e-9, name

@@ -1,0 +1,31 @@
+"""Figure 13: SPEC 2000 FP speedup, all REF inputs, 4-wide.
+
+The paper notes a sharper falloff than SPEC 2006 FP: art/ammp/mesa lead,
+the long tail (swim, mgrid, lucas, sixtrack, apsi...) shows little gain
+because so few forward branches are eligible."""
+
+import statistics
+
+from repro.experiments.speedups import run_figure
+
+from conftest import bench_config
+
+
+def test_fig13_fp00_speedup(benchmark, emit):
+    figure = benchmark.pedantic(
+        lambda: run_figure("fig13", bench_config(widths=(4,))),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig13_fp00_speedup", figure.render())
+
+    values = dict(figure.series[4])
+    assert len(values) == 14
+    leaders = statistics.mean(
+        values[n] for n in ("art00", "ammp00", "mesa00")
+    )
+    tail = statistics.mean(
+        values[n] for n in ("swim00", "mgrid00", "lucas00", "sixtrack00", "apsi00")
+    )
+    assert leaders > tail
+    assert tail < 3.0

@@ -1,0 +1,27 @@
+"""The Section 1 motivation: the transformation targets in-orders.
+
+Not a published table, but the premise everything rests on -- "control
+dependence impacts performance on in-order machines even with perfect
+branch prediction" while OOO control speculation already copes.  The OOO
+reference core should (a) beat the in-order baseline outright and (b) gain
+essentially nothing from the transformation the in-order profits from."""
+
+import statistics
+
+from repro.experiments.motivation import run as run_motivation
+
+from conftest import bench_config
+
+
+def test_motivation_ooo(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_motivation(config=bench_config()), rounds=1, iterations=1
+    )
+    emit("motivation_ooo", result.render())
+
+    inorder_gains = [r.inorder_speedup for r in result.rows]
+    ooo_gains = [r.ooo_speedup for r in result.rows]
+    assert statistics.mean(inorder_gains) > statistics.mean(ooo_gains) + 1.0
+    assert statistics.mean(ooo_gains) < 2.0
+    for row in result.rows:
+        assert row.ooo_vs_inorder_baseline > 0.0, row.benchmark

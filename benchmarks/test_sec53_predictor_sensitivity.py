@@ -1,0 +1,33 @@
+"""Section 5.3: predictor sensitivity on the hard-to-predict benchmarks.
+
+The paper: with better predictors, the transformation's speedup *improves*
+(~0.3% per 1% misprediction-rate reduction) on astar/sjeng/gobmk/mcf."""
+
+import statistics
+
+from repro.experiments.sensitivity import run as run_sensitivity
+
+from conftest import bench_config
+
+
+def test_sec53_predictor_sensitivity(benchmark, emit):
+    config = bench_config()
+    result = benchmark.pedantic(
+        lambda: run_sensitivity(config=config), rounds=1, iterations=1
+    )
+    emit("sec53_predictor_sensitivity", result.render())
+
+    benchmarks = sorted({p.benchmark for p in result.points})
+    assert benchmarks == ["astar", "gobmk", "mcf", "sjeng"]
+
+    # The headline direction: on average across the four benchmarks,
+    # speedup grows as mispredictions fall (positive slope).
+    slopes = [result.slope(name) for name in benchmarks]
+    assert statistics.mean(slopes) > 0.0
+
+    # The strongest predictor should not be the worst configuration.
+    for name in benchmarks:
+        series = [p for p in result.points if p.benchmark == name]
+        best_pred_speedup = series[-1].speedup  # isl-tage
+        worst = min(p.speedup for p in series)
+        assert best_pred_speedup >= worst

@@ -1,0 +1,36 @@
+"""Simulator micro-benchmarks: wall-clock cost of the core loops.
+
+These are conventional pytest-benchmark timings (multiple rounds) for the
+components everything else is built on."""
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.uarch import InOrderCore, MachineConfig, execute
+from repro.workloads import omnetpp_carray_add, spec_benchmark
+
+
+def test_functional_executor_throughput(benchmark):
+    program = compile_baseline(omnetpp_carray_add(iterations=512)).program
+    result = benchmark(lambda: execute(program))
+    assert result.halted
+
+
+def test_timing_simulator_throughput(benchmark):
+    program = compile_baseline(omnetpp_carray_add(iterations=512)).program
+    core = MachineConfig.paper_default()
+    result = benchmark(lambda: InOrderCore(core).run(program))
+    assert result.stats.halted
+
+
+def test_compile_decomposed_throughput(benchmark):
+    func = omnetpp_carray_add(iterations=256)
+    baseline = compile_baseline(func)
+    result = benchmark(
+        lambda: compile_decomposed(func, profile=baseline.profile)
+    )
+    assert result.transform.converted == 1
+
+
+def test_workload_build_throughput(benchmark):
+    spec = spec_benchmark("gcc", iterations=300)
+    func = benchmark(lambda: spec.build(seed=1))
+    assert func.static_instruction_count() > 100

@@ -1,0 +1,52 @@
+"""Table 2: per-benchmark SPEC 2006 metrics at 4-wide.
+
+Shape checks against the published table: the high-speedup cluster
+(h264ref / perlbench / omnetpp-class) beats the low cluster
+(hmmer / libquantum-class), characterisation columns land near their
+published counterparts, and code growth stays moderate.
+"""
+
+import statistics
+
+from repro.experiments.table2 import render, run as run_table2
+from repro.workloads import BENCHMARKS
+
+from conftest import bench_config
+
+
+def test_table2_metrics(benchmark, emit):
+    outcomes = benchmark.pedantic(
+        lambda: run_table2(bench_config()), rounds=1, iterations=1
+    )
+    emit("table2_metrics", render(outcomes))
+
+    by_name = {o.name: o for o in outcomes}
+    int_names = [o.name for o in outcomes if BENCHMARKS[o.name].suite == "int2006"]
+    assert len(outcomes) == 29  # 12 INT + 17 FP
+
+    # PBC tracks the published conversion percentages: high-PBC rows
+    # convert more than low-PBC rows on average.
+    high = [n for n in by_name if BENCHMARKS[n].paper.pbc >= 25.0]
+    low = [n for n in by_name if BENCHMARKS[n].paper.pbc < 15.0]
+    mean_high = statistics.mean(by_name[n].metrics.pbc for n in high)
+    mean_low = statistics.mean(by_name[n].metrics.pbc for n in low)
+    assert mean_high > mean_low
+    for name, outcome in by_name.items():
+        assert abs(outcome.metrics.pbc - BENCHMARKS[name].paper.pbc) < 35.0, name
+
+    # Speedup ordering: the paper's top INT cluster beats its bottom cluster.
+    top = statistics.mean(
+        by_name[n].metrics.spd for n in ("h264ref", "omnetpp", "gcc")
+    )
+    bottom = statistics.mean(
+        by_name[n].metrics.spd for n in ("hmmer", "libquantum")
+    )
+    assert top > bottom + 1.0
+
+    # ASPCB ordering: mcf's resolution stalls dwarf hmmer's, as published
+    # (107.2 vs 32.5).
+    assert by_name["mcf"].metrics.aspcb > by_name["hmmer"].metrics.aspcb
+
+    # Static code growth is moderate (published average ~9%).
+    piscs = [o.metrics.piscs for o in outcomes]
+    assert 0.0 < statistics.mean(piscs) < 20.0

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""See the mechanism: issue timelines before and after decomposition.
+
+Renders Gantt-style issue charts for a chase-heavy workload.  In the
+baseline you can watch the branch (`bnz`) sit stalled on its condition
+load while everything younger queues behind it; in the decomposed version
+the hoisted loads (`[+,h]`) issue underneath the `resolve`'s wait.
+
+Also runs the independent transformation verifier -- the checks a DBT
+vendor would ship with this pass.
+
+Run:  python examples/inspect_pipeline.py [benchmark]
+"""
+
+import sys
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.core import verify
+from repro.uarch import render_timeline
+from repro.workloads import spec_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "omnetpp"
+    spec = spec_benchmark(name, iterations=300)
+    func = spec.build(seed=1)
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+
+    # Skip past warm-up so the caches and predictor are in steady state.
+    window = dict(start=2500, count=26)
+
+    print(f"== {name}: baseline issue timeline ==")
+    print(render_timeline(baseline.program, **window))
+
+    print(f"\n== {name}: decomposed issue timeline ==")
+    print("(hoisted instructions are tagged [h]; non-faulting loads [+])")
+    print(render_timeline(decomposed.program, **window))
+
+    print("\n== verifying the transformation ==")
+    report = verify(func, decomposed.function)
+    print(f"predict/resolve pairs checked: {report.predicts_checked}")
+    if report.ok:
+        print("structural invariants + differential execution: OK")
+    else:  # pragma: no cover - would indicate a bug
+        for error in report.errors:
+            print(f"  FAIL: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The limits of the transformation: an mcf-style pointer chase.
+
+SPEC's mcf has the *longest* resolution stalls in Table 2 (ASPCB 107) yet
+one of the more modest speedups (8.1%), and the paper explains why: "a
+large number of long latency misses which is difficult for the code
+generator to cover with useful instructions".  When the branch condition
+hangs off a serial pointer chase, there is nothing independent to hoist
+over the miss -- the next chase step needs this step's data.
+
+This kernel demonstrates that boundary: the guard branch is squarely in
+the decomposable quadrant (62/38 bias, ~90% predictable) and converts,
+but the speedup is near zero because the chase itself is the critical
+path.  Contrast with examples/omnetpp_carray.py, where the hoisted loads
+are independent of the condition and the gain is real.
+
+Run:  python examples/mcf_pointer_chase.py
+"""
+
+from repro import quick_comparison
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.workloads import MCF_SITE, mcf_pointer_chase
+
+
+def main() -> None:
+    func = mcf_pointer_chase(iterations=600)
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+
+    stats = decomposed.selection.candidates[0].stats
+    print(
+        f"guard branch: bias {stats.bias:.2f}, predictability "
+        f"{stats.predictability:.2f} (design: {MCF_SITE.bias:.2f} / "
+        f"{MCF_SITE.predictability:.2f}) -> converted"
+    )
+
+    outcome = quick_comparison(func, max_instructions=2_000_000)
+    base = outcome.baseline
+    print(
+        f"\nbaseline IPC {base.ipc:.2f}; resolution stall per branch "
+        f"{base.stats.aspcb:.0f} cycles (paper's mcf: 107)"
+    )
+    print(f"speedup from decomposition: {outcome.speedup_percent:.1f}%")
+    print(
+        "\nWhy so small despite the perfect-quadrant branch? The next\n"
+        "chase step's address *is* this step's loaded data -- the miss\n"
+        "chain is serial, so hoisting can overlap nothing with it. This\n"
+        "is the paper's own explanation for mcf's modest gain, and the\n"
+        "reason the workload calibration caps hoistable cold MLP when\n"
+        "PDIH/PBC is thin (see DESIGN.md section 5)."
+    )
+    same = base.memory_snapshot() == outcome.decomposed.memory_snapshot()
+    print(f"\narchitectural results identical: {same}")
+
+
+if __name__ == "__main__":
+    main()

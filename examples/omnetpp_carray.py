@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's Figure 6 walkthrough: transforming omnetpp's
+``cArray::add(cObject*)``.
+
+Shows the kernel before and after the Decomposed Branch Transformation --
+the compare slice pushed into both resolution blocks, the ``items`` loads
+hoisted above the resolves (marked ``+`` for non-faulting), stores left
+below the resolution point, and the correction blocks at the end -- then
+measures the cycle impact, which comes from overlapping block A's loads
+with the loads of B and C that the original branch serialised.
+
+Run:  python examples/omnetpp_carray.py
+"""
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.ir import lower
+from repro.uarch import InOrderCore, MachineConfig
+from repro.workloads import omnetpp_carray_add
+
+
+def main() -> None:
+    func = omnetpp_carray_add(iterations=2048)
+
+    print("== original kernel (Figure 6a) ==")
+    print(lower(func).disassemble())
+
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+
+    stats = decomposed.selection.candidates[0].stats
+    print(
+        f"\nprofiled branch: bias {stats.bias:.2f}, "
+        f"predictability {stats.predictability:.2f} "
+        f"(the paper quotes 60/40 bias, ~90% predictable)"
+    )
+
+    print("\n== transformed kernel (Figure 6b/6c) ==")
+    print(decomposed.program.disassemble())
+
+    machine = MachineConfig.paper_default()
+    base_run = InOrderCore(machine).run(baseline.program)
+    dec_run = InOrderCore(machine).run(decomposed.program)
+    speedup = 100.0 * (base_run.cycles / dec_run.cycles - 1.0)
+    print(f"\nbaseline:   {base_run.cycles} cycles (IPC {base_run.ipc:.2f})")
+    print(f"decomposed: {dec_run.cycles} cycles (IPC {dec_run.ipc:.2f})")
+    print(f"speedup:    {speedup:.1f}%")
+    print(
+        "architectural results identical:",
+        base_run.memory_snapshot() == dec_run.memory_snapshot(),
+    )
+
+
+if __name__ == "__main__":
+    main()

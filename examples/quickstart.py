@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: decompose one predictable-but-unbiased branch and watch an
+in-order superscalar get faster.
+
+Builds the paper's Figure 5 scenario as a small workload -- a hammock whose
+branch goes 60/40 but is ~95% predictable, guarded by a load-dependent
+compare, with hoistable loads in both successors -- then compiles it twice
+(baseline vs the Decomposed Branch Transformation) and simulates both on
+the paper's 4-wide in-order machine (Table 1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_comparison
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.workloads import BranchSiteSpec, WorkloadSpec
+
+
+def main() -> None:
+    # A predictable (95%) but unbiased (60/40) forward branch: the exact
+    # quadrant of Figure 1 the paper targets.
+    spec = WorkloadSpec(
+        name="quickstart",
+        suite="demo",
+        sites=[BranchSiteSpec(bias=0.6, predictability=0.95)],
+        iterations=1500,
+        loads_not_taken=4,
+        loads_taken=4,
+        loads_cond_block=1,
+        hoist_barrier_frac=0.9,
+        cold_code_factor=0.0,
+    )
+    func = spec.build(seed=1)
+
+    print("== compiling ==")
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+    selection = decomposed.selection
+    print(f"forward branches: {selection.forward_branches}")
+    for candidate in selection.candidates:
+        print(
+            f"  converted {candidate.block}: bias={candidate.stats.bias:.2f} "
+            f"predictability={candidate.stats.predictability:.2f} "
+            f"(gap {candidate.stats.exposed_predictability:+.2f})"
+        )
+    transform = decomposed.transform.transforms[0]
+    print(
+        f"  pushed-down slice: {transform.pushed_down} insts, "
+        f"hoisted {transform.hoisted_not_taken}+{transform.hoisted_taken} "
+        f"insts, {transform.temps_used} temps"
+    )
+    print(f"  static code size: +{decomposed.transform.pisc:.1f}%")
+
+    print("\n== transformed hot region (predict/resolve form) ==")
+    start = decomposed.program.labels["s0A"]
+    end = decomposed.program.labels["tail"]
+    print(decomposed.program.disassemble(start, end - start))
+
+    print("\n== simulating on the Table 1 4-wide in-order ==")
+    outcome = quick_comparison(func, max_instructions=2_000_000)
+    base, dec = outcome.baseline, outcome.decomposed
+    print(f"baseline:   {base.cycles:>8} cycles  IPC {base.ipc:.2f}")
+    print(f"decomposed: {dec.cycles:>8} cycles  IPC {dec.ipc:.2f}")
+    print(f"speedup:    {outcome.speedup_percent:.1f}%")
+    print(
+        f"resolve mispredicts: {dec.stats.resolve_mispredicts}"
+        f"/{dec.stats.resolves} "
+        f"(correction code repaired each one)"
+    )
+    same = base.memory_snapshot() == dec.memory_snapshot()
+    print(f"architectural results identical: {same}")
+
+
+if __name__ == "__main__":
+    main()

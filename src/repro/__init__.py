@@ -1,0 +1,75 @@
+"""Branch Vanguard reproduction (McFarlin & Zilles, ISCA 2015).
+
+A full-system reproduction of "Branch Vanguard: Decomposing Branch
+Functionality into Prediction and Resolution Instructions": a RISC-like ISA
+extended with PREDICT/RESOLVE, a cycle-level in-order superscalar model, the
+Decomposed Branch Transformation with profile-guided selection, the
+Decomposed Branch Buffer, and synthetic SPEC-calibrated workloads that
+regenerate every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import quick_comparison
+    from repro.workloads import spec_benchmark
+
+    workload = spec_benchmark("omnetpp")
+    outcome = quick_comparison(workload.build(seed=1))
+    print(f"speedup: {outcome.speedup_percent:.1f}%")
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .compiler import compile_baseline, compile_decomposed
+from .ir import Function
+from .uarch import InOrderCore, MachineConfig, SimulationResult
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class ComparisonOutcome:
+    """Baseline vs decomposed run of one workload on one machine."""
+
+    baseline: SimulationResult
+    decomposed: SimulationResult
+
+    @property
+    def speedup_percent(self) -> float:
+        """Percentage cycle-count speedup of decomposed over baseline."""
+        if not self.decomposed.cycles:
+            return 0.0
+        return 100.0 * (
+            self.baseline.cycles / self.decomposed.cycles - 1.0
+        )
+
+
+def quick_comparison(
+    func: Function,
+    config: Optional[MachineConfig] = None,
+    max_instructions: int = 500_000,
+) -> ComparisonOutcome:
+    """Compile ``func`` both ways and simulate both on the same machine."""
+    config = config or MachineConfig.paper_default()
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+    return ComparisonOutcome(
+        baseline=InOrderCore(config).run(
+            baseline.program, max_instructions=max_instructions
+        ),
+        decomposed=InOrderCore(config).run(
+            decomposed.program, max_instructions=max_instructions
+        ),
+    )
+
+
+__all__ = [
+    "ComparisonOutcome",
+    "InOrderCore",
+    "MachineConfig",
+    "SimulationResult",
+    "compile_baseline",
+    "compile_decomposed",
+    "quick_comparison",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Metric extraction (Table 2 columns) and table/figure text rendering."""
+
+from .metrics import (
+    BenchmarkMetrics,
+    TABLE2_HEADER,
+    geomean_speedup,
+    hoistable_fraction,
+    issued_increase_percent,
+    pdih_percent,
+    phi_percent,
+    speedup_percent,
+    static_alpbb,
+)
+from .report import render_bars, render_series, render_table
+
+__all__ = [
+    "BenchmarkMetrics",
+    "TABLE2_HEADER",
+    "geomean_speedup",
+    "hoistable_fraction",
+    "issued_increase_percent",
+    "pdih_percent",
+    "phi_percent",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "speedup_percent",
+    "static_alpbb",
+]

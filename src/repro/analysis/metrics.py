@@ -1,0 +1,152 @@
+"""Metric extraction: every column of the paper's Table 2.
+
+* **SPD**    -- % cycle speedup of the decomposed binary over baseline.
+* **PBC**    -- % of static forward branches converted.
+* **PDIH**   -- % of dynamic instructions that were hoisted above a
+  converted branch (committed instructions carrying the ``hoisted`` mark).
+* **ALPBB**  -- average loads per basic block (static, over the baseline).
+* **ASPCB**  -- average stall cycles per converted branch (back-end
+  queueing delay of resolution points, measured on the baseline).
+* **PHI**    -- average % of a candidate branch's succeeding block that is
+  hoistable (via the same legality analysis the transformation uses).
+* **MPPKI**  -- branch mispredictions per thousand committed instructions.
+* **PISCS**  -- % increase in static code size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..compiler import CompilationResult
+from ..ir import Function, available_above
+from ..uarch import SimulationResult
+
+
+def static_alpbb(func: Function) -> float:
+    """Average loads per basic block, excluding empty blocks."""
+    counts = []
+    for block in func.blocks.values():
+        if len(block) == 0:
+            continue
+        counts.append(sum(1 for inst in block.body if inst.is_load))
+    return sum(counts) / len(counts) if counts else 0.0
+
+
+def hoistable_fraction(func: Function, block_name: str) -> float:
+    """Fraction of ``block_name``'s body the transformation could hoist."""
+    body = func.block(block_name).body
+    if not body:
+        return 0.0
+    return len(available_above(body, set(range(64)))) / len(body)
+
+
+def phi_percent(func: Function, candidate_blocks: Iterable[str]) -> float:
+    """Table 2's PHI: mean hoistable % over candidates' successor blocks."""
+    fractions: List[float] = []
+    for name in candidate_blocks:
+        block = func.block(name)
+        term = block.terminator
+        if term is None:
+            continue
+        for succ in (term.target, block.fallthrough):
+            if isinstance(succ, str):
+                fractions.append(hoistable_fraction(func, succ))
+    return 100.0 * sum(fractions) / len(fractions) if fractions else 0.0
+
+
+def pdih_percent(result: SimulationResult) -> float:
+    """% of committed dynamic instructions that were hoisted copies."""
+    committed = result.stats.committed
+    if not committed:
+        return 0.0
+    return 100.0 * result.stats.hoisted_committed / committed
+
+
+def speedup_percent(baseline: SimulationResult, improved: SimulationResult) -> float:
+    if not improved.cycles:
+        return 0.0
+    return 100.0 * (baseline.cycles / improved.cycles - 1.0)
+
+
+def issued_increase_percent(
+    baseline: SimulationResult, improved: SimulationResult
+) -> float:
+    """Figure 14: % increase in issued instructions (experimental vs
+    baseline 4-wide)."""
+    if not baseline.stats.issued:
+        return 0.0
+    return 100.0 * (improved.stats.issued / baseline.stats.issued - 1.0)
+
+
+def geomean_speedup(percentages: Sequence[float]) -> float:
+    """Geometric-mean % speedup of a set of per-benchmark % speedups."""
+    if not percentages:
+        return 0.0
+    logs = [math.log(1.0 + p / 100.0) for p in percentages]
+    return 100.0 * (math.exp(sum(logs) / len(logs)) - 1.0)
+
+
+@dataclass
+class BenchmarkMetrics:
+    """One Table 2 row as measured by this reproduction."""
+
+    name: str
+    spd: float
+    pbc: float
+    pdih: float
+    alpbb: float
+    aspcb: float
+    phi: float
+    mppki: float
+    piscs: float
+
+    @classmethod
+    def from_runs(
+        cls,
+        name: str,
+        baseline_compile: CompilationResult,
+        decomposed_compile: CompilationResult,
+        baseline_run: SimulationResult,
+        decomposed_run: SimulationResult,
+        spd: Optional[float] = None,
+    ) -> "BenchmarkMetrics":
+        selection = decomposed_compile.selection
+        transform = decomposed_compile.transform
+        candidates = (
+            [c.block for c in selection.candidates] if selection else []
+        )
+        return cls(
+            name=name,
+            spd=(
+                spd
+                if spd is not None
+                else speedup_percent(baseline_run, decomposed_run)
+            ),
+            pbc=selection.pbc if selection else 0.0,
+            pdih=pdih_percent(decomposed_run),
+            alpbb=static_alpbb(baseline_compile.function),
+            aspcb=baseline_run.stats.aspcb,
+            phi=phi_percent(baseline_compile.function, candidates),
+            mppki=baseline_run.stats.mppki,
+            piscs=transform.pisc if transform else 0.0,
+        )
+
+    def row(self) -> List[str]:
+        return [
+            self.name,
+            f"{self.spd:.1f}",
+            f"{self.pbc:.1f}",
+            f"{self.pdih:.1f}",
+            f"{self.alpbb:.1f}",
+            f"{self.aspcb:.1f}",
+            f"{self.phi:.1f}",
+            f"{self.mppki:.1f}",
+            f"{self.piscs:.1f}",
+        ]
+
+
+TABLE2_HEADER = [
+    "Name", "SPD", "PBC", "PDIH", "ALPBB", "ASPCB", "PHI", "MPPKI", "PISCS",
+]

@@ -1,0 +1,51 @@
+"""Branch prediction substrate: direction predictors (static -> ISL-TAGE),
+BTB, RAS, and bias/predictability measurement."""
+
+from .base import DirectionPredictor, Prediction, saturating_update
+from .btb import BranchTargetBuffer, ReturnAddressStack
+from .hybrid import HybridPredictor
+from .measure import (
+    BranchStats,
+    measure_stream,
+    measure_trace,
+    misses_per_kilo_instruction,
+)
+from .local import LocalPredictor
+from .simple import BimodalPredictor, GSharePredictor, StaticTakenPredictor
+from .traces import compare_predictors, load_trace, replay, save_trace
+from .tage import IslTagePredictor, TagePredictor
+
+#: The Section 5.3 predictor ladder, weakest to strongest.
+PREDICTOR_LADDER = (
+    StaticTakenPredictor,
+    BimodalPredictor,
+    LocalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    TagePredictor,
+    IslTagePredictor,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchStats",
+    "BranchTargetBuffer",
+    "DirectionPredictor",
+    "GSharePredictor",
+    "HybridPredictor",
+    "IslTagePredictor",
+    "LocalPredictor",
+    "PREDICTOR_LADDER",
+    "Prediction",
+    "ReturnAddressStack",
+    "StaticTakenPredictor",
+    "TagePredictor",
+    "measure_stream",
+    "measure_trace",
+    "misses_per_kilo_instruction",
+    "compare_predictors",
+    "load_trace",
+    "replay",
+    "save_trace",
+    "saturating_update",
+]

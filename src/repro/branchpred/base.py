@@ -1,0 +1,62 @@
+"""Direction-predictor interface.
+
+The decomposed-branch machinery needs predictors that separate *lookup*
+(performed when the PREDICT instruction is fetched) from *update* (performed
+when the matching RESOLVE commits, possibly many instructions later).  A
+lookup therefore returns an opaque ``meta`` payload holding everything the
+update needs -- table indices and the pre-lookup history snapshot -- which is
+exactly what the paper stores in each Decomposed Branch Buffer entry
+("16 bits for the indices into the branch prediction table hierarchy and
+8 bits for the prediction metadata", Section 4).
+
+History is updated speculatively with the prediction at lookup time, as in
+real front ends; :meth:`DirectionPredictor.update` repairs it when the
+outcome disagrees.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """The result of one lookup: a direction plus update metadata."""
+
+    taken: bool
+    meta: Tuple
+
+
+class DirectionPredictor(abc.ABC):
+    """Conditional-branch direction predictor."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def lookup(self, branch_id: int) -> Prediction:
+        """Predict the branch at static site ``branch_id``.
+
+        Speculatively folds the prediction into global history.
+        """
+
+    @abc.abstractmethod
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        """Train with the true outcome; repairs history on a misprediction."""
+
+    def predict_and_train(self, branch_id: int, taken: bool) -> bool:
+        """Convenience for trace-driven measurement: lookup then update.
+
+        Returns True when the prediction was correct.
+        """
+        prediction = self.lookup(branch_id)
+        self.update(prediction, taken)
+        return prediction.taken == taken
+
+
+def saturating_update(counter: int, taken: bool, maximum: int = 3) -> int:
+    """Advance an n-bit saturating counter toward the outcome."""
+    if taken:
+        return min(counter + 1, maximum)
+    return max(counter - 1, 0)

@@ -1,0 +1,64 @@
+"""Branch target buffer and return-address stack (Table 1: 4K-entry BTB,
+64-entry RAS).
+
+Our ISA only has direct branches (targets are immediates), so the BTB's
+architectural role is limited to modelling *front-end target availability*:
+a taken-predicted branch whose target misses in the BTB costs a one-cycle
+fetch bubble while the target is computed from the instruction.  CALL/RET
+use the RAS as usual.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class BranchTargetBuffer:
+    """Direct-mapped PC -> target cache."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._tags: List[Optional[int]] = [None] * entries
+        self._targets: List[int] = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        index = pc & self._mask
+        if self._tags[index] == pc:
+            self.hits += 1
+            return self._targets[index]
+        self.misses += 1
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        index = pc & self._mask
+        self._tags[index] = pc
+        self._targets[index] = target
+
+
+class ReturnAddressStack:
+    """Circular return-address stack; overflow wraps, underflow mispredicts."""
+
+    def __init__(self, entries: int = 64) -> None:
+        self._stack: List[int] = []
+        self._entries = entries
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self._entries:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,71 @@
+"""The paper's default predictor (Table 1): "PTLSim default: GShare, 24 KB
+3-table direction predictor".
+
+PTLSim's default conditional predictor is a McFarling-style combining
+predictor: a bimodal table, a gshare (two-level global) table, and a meta
+chooser table -- three tables.  With 32K 2-bit counters per table this is
+exactly 24 KB of direction-prediction state, matching Table 1.
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor, Prediction, saturating_update
+
+
+class HybridPredictor(DirectionPredictor):
+    """Bimodal + gshare + chooser, 2-bit counters throughout."""
+
+    name = "hybrid-24KB"
+
+    def __init__(
+        self,
+        entries: int = 32768,
+        history_bits: int = 15,
+    ) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._bimodal = [2] * entries
+        self._gshare = [2] * entries
+        #: Chooser >= 2 selects gshare, else bimodal.
+        self._chooser = [2] * entries
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return 3 * 2 * (self._mask + 1)
+
+    def lookup(self, branch_id: int) -> Prediction:
+        history = self._history
+        bim_index = branch_id & self._mask
+        gsh_index = (branch_id ^ history) & self._mask
+        cho_index = branch_id & self._mask
+
+        bim_taken = self._bimodal[bim_index] >= 2
+        gsh_taken = self._gshare[gsh_index] >= 2
+        use_gshare = self._chooser[cho_index] >= 2
+        taken = gsh_taken if use_gshare else bim_taken
+
+        self._history = ((history << 1) | int(taken)) & self._history_mask
+        meta = (bim_index, gsh_index, cho_index, bim_taken, gsh_taken, history)
+        return Prediction(taken=taken, meta=meta)
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        bim_index, gsh_index, cho_index, bim_taken, gsh_taken, history = (
+            prediction.meta
+        )
+        self._bimodal[bim_index] = saturating_update(
+            self._bimodal[bim_index], taken
+        )
+        self._gshare[gsh_index] = saturating_update(
+            self._gshare[gsh_index], taken
+        )
+        # Train the chooser only when the components disagree.
+        if bim_taken != gsh_taken:
+            self._chooser[cho_index] = saturating_update(
+                self._chooser[cho_index], gsh_taken == taken
+            )
+        if taken != prediction.taken:
+            self._history = ((history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,59 @@
+"""Two-level local-history (PAg) predictor.
+
+A per-site history register indexes a shared pattern table -- the
+complement of gshare's global history.  Included both as an extra rung for
+sensitivity studies and because the workloads' sticky-Markov branches are
+exactly the streams local history excels at (a branch's own last outcomes
+are always in *its* history window, no matter how many other branches
+interleave).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import DirectionPredictor, Prediction, saturating_update
+
+
+class LocalPredictor(DirectionPredictor):
+    """PAg: per-branch history registers over a global pattern table."""
+
+    name = "local-pag"
+
+    def __init__(
+        self,
+        history_entries: int = 1024,
+        history_bits: int = 10,
+        pattern_entries: int = 4096,
+    ) -> None:
+        if history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a power of two")
+        if pattern_entries & (pattern_entries - 1):
+            raise ValueError("pattern_entries must be a power of two")
+        self._history_mask = history_entries - 1
+        self._histories: List[int] = [0] * history_entries
+        self._history_bits = history_bits
+        self._history_keep = (1 << history_bits) - 1
+        self._pattern_mask = pattern_entries - 1
+        self._patterns: List[int] = [2] * pattern_entries
+
+    def lookup(self, branch_id: int) -> Prediction:
+        slot = branch_id & self._history_mask
+        history = self._histories[slot]
+        index = (history ^ (branch_id << 2)) & self._pattern_mask
+        taken = self._patterns[index] >= 2
+        # Speculative per-branch history update with the prediction.
+        self._histories[slot] = (
+            (history << 1) | int(taken)
+        ) & self._history_keep
+        return Prediction(taken=taken, meta=(slot, index, history))
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        slot, index, history = prediction.meta
+        self._patterns[index] = saturating_update(
+            self._patterns[index], taken
+        )
+        if taken != prediction.taken:
+            self._histories[slot] = (
+                (history << 1) | int(taken)
+            ) & self._history_keep

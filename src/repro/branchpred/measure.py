@@ -1,0 +1,116 @@
+"""Bias / predictability measurement over branch-outcome streams.
+
+This is the measurement the paper's Figures 2 and 3 plot and that its
+selection heuristic consumes: *bias* is how often the branch goes its
+majority direction; *predictability* is the accuracy a concrete predictor
+achieves on the stream.  Predictability almost always exceeds bias -- the
+gap is the opportunity the transformation exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from .base import DirectionPredictor
+from .hybrid import HybridPredictor
+
+
+@dataclass(frozen=True)
+class BranchStats:
+    """Measured statistics for one static branch site."""
+
+    branch_id: int
+    executions: int
+    taken: int
+    correct: int
+
+    @property
+    def bias(self) -> float:
+        """Fraction of executions in the majority direction."""
+        if not self.executions:
+            return 1.0
+        frac_taken = self.taken / self.executions
+        return max(frac_taken, 1.0 - frac_taken)
+
+    @property
+    def predictability(self) -> float:
+        if not self.executions:
+            return 1.0
+        return self.correct / self.executions
+
+    @property
+    def exposed_predictability(self) -> float:
+        """predictability - bias: the paper's selection signal."""
+        return self.predictability - self.bias
+
+
+def measure_stream(
+    branch_id: int,
+    outcomes: Sequence[bool],
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+) -> BranchStats:
+    """Measure one site's outcome stream with a fresh predictor."""
+    predictor = predictor_factory()
+    correct = 0
+    taken = 0
+    for outcome in outcomes:
+        if predictor.predict_and_train(branch_id, outcome):
+            correct += 1
+        if outcome:
+            taken += 1
+    return BranchStats(
+        branch_id=branch_id,
+        executions=len(outcomes),
+        taken=taken,
+        correct=correct,
+    )
+
+
+def measure_trace(
+    trace: Iterable[Tuple[int, bool]],
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+    warmup_fraction: float = 0.2,
+) -> Dict[int, BranchStats]:
+    """Measure an interleaved (branch_id, outcome) trace with one shared
+    predictor -- this is what profiling a whole program run produces, and it
+    captures cross-branch aliasing/history interactions.
+
+    The first ``warmup_fraction`` of the trace trains the predictor but is
+    excluded from the statistics, approximating the steady-state
+    predictability a to-completion TRAIN run observes.
+    """
+    events = list(trace)
+    warmup = int(len(events) * warmup_fraction)
+    predictor = predictor_factory()
+    executions: Dict[int, int] = {}
+    taken: Dict[int, int] = {}
+    correct: Dict[int, int] = {}
+    for index, (branch_id, outcome) in enumerate(events):
+        was_correct = predictor.predict_and_train(branch_id, outcome)
+        if index < warmup:
+            continue
+        executions[branch_id] = executions.get(branch_id, 0) + 1
+        if was_correct:
+            correct[branch_id] = correct.get(branch_id, 0) + 1
+        if outcome:
+            taken[branch_id] = taken.get(branch_id, 0) + 1
+    return {
+        branch_id: BranchStats(
+            branch_id=branch_id,
+            executions=executions[branch_id],
+            taken=taken.get(branch_id, 0),
+            correct=correct.get(branch_id, 0),
+        )
+        for branch_id in executions
+    }
+
+
+def misses_per_kilo_instruction(
+    stats: Iterable[BranchStats], dynamic_instructions: int
+) -> float:
+    """MPPKI over a set of branch sites for a run of given length."""
+    if dynamic_instructions <= 0:
+        return 0.0
+    mispredicts = sum(s.executions - s.correct for s in stats)
+    return 1000.0 * mispredicts / dynamic_instructions

@@ -1,0 +1,88 @@
+"""Static, bimodal, and gshare predictors.
+
+These are both baselines for the Section 5.3 predictor ladder and building
+blocks for the PTLSim-style hybrid in :mod:`repro.branchpred.hybrid`.
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor, Prediction, saturating_update
+
+
+class StaticTakenPredictor(DirectionPredictor):
+    """Always predicts one direction; the floor of the predictor ladder."""
+
+    name = "static"
+
+    def __init__(self, taken: bool = True) -> None:
+        self._taken = taken
+
+    def lookup(self, branch_id: int) -> Prediction:
+        return Prediction(taken=self._taken, meta=())
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        return None
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Per-site 2-bit saturating counters, PC-indexed."""
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._table = [2] * entries  # weakly taken
+
+    def _index(self, branch_id: int) -> int:
+        return branch_id & self._mask
+
+    def lookup(self, branch_id: int) -> Prediction:
+        index = self._index(branch_id)
+        return Prediction(taken=self._table[index] >= 2, meta=(index,))
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        (index,) = prediction.meta
+        self._table[index] = saturating_update(self._table[index], taken)
+
+
+class GSharePredictor(DirectionPredictor):
+    """Global-history XOR PC indexed 2-bit counter table.
+
+    History is speculatively shifted at lookup and repaired on mispredict.
+    """
+
+    name = "gshare"
+
+    def __init__(self, entries: int = 16384, history_bits: int = 14) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._table = [2] * entries
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+
+    @property
+    def history(self) -> int:
+        return self._history
+
+    def _index(self, branch_id: int, history: int) -> int:
+        return (branch_id ^ history) & self._mask
+
+    def lookup(self, branch_id: int) -> Prediction:
+        history = self._history
+        index = self._index(branch_id, history)
+        taken = self._table[index] >= 2
+        # Speculative history update with the prediction.
+        self._history = ((history << 1) | int(taken)) & self._history_mask
+        return Prediction(taken=taken, meta=(index, history))
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        index, history = prediction.meta
+        self._table[index] = saturating_update(self._table[index], taken)
+        if taken != prediction.taken:
+            # Repair: rebuild history as if the true outcome had been
+            # shifted in at lookup time.
+            self._history = ((history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,238 @@
+"""TAGE and an ISL-TAGE-like predictor for the Section 5.3 sensitivity study.
+
+The paper's best predictor is "a 64-KB version of ISL-TAGE" [Seznec, 2011].
+We implement a standard TAGE (base bimodal table plus tagged components with
+geometrically increasing history lengths, usefulness counters, and
+allocation-on-mispredict) and layer the two ISL additions on top in
+simplified form: a loop predictor for constant-trip-count branches and a
+small statistical corrector that learns to distrust weak TAGE predictions
+per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .base import DirectionPredictor, Prediction, saturating_update
+
+
+def _fold(history: int, length: int, bits: int) -> int:
+    """Fold the low ``length`` history bits into ``bits`` bits by XOR."""
+    value = history & ((1 << length) - 1)
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int = 0
+    counter: int = 4  # 3-bit, weakly taken at 4 (range 0..7)
+    useful: int = 0  # 2-bit
+
+
+class TagePredictor(DirectionPredictor):
+    """TAGE with a bimodal base and ``len(history_lengths)`` tagged tables."""
+
+    name = "tage"
+
+    def __init__(
+        self,
+        base_entries: int = 16384,
+        table_bits: int = 12,
+        tag_bits: int = 10,
+        history_lengths: Tuple[int, ...] = (5, 11, 22, 44, 88, 176),
+    ) -> None:
+        self._base = [2] * base_entries
+        self._base_mask = base_entries - 1
+        self._table_bits = table_bits
+        self._table_mask = (1 << table_bits) - 1
+        self._tag_bits = tag_bits
+        self._tag_mask = (1 << tag_bits) - 1
+        self._lengths = history_lengths
+        self._tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(1 << table_bits)]
+            for _ in history_lengths
+        ]
+        self._history = 0
+        self._max_history = max(history_lengths)
+        self._alloc_tick = 0
+
+    # -- indexing --------------------------------------------------------
+
+    def _indices_tags(
+        self, branch_id: int, history: int
+    ) -> List[Tuple[int, int]]:
+        out = []
+        for i, length in enumerate(self._lengths):
+            folded = _fold(history, length, self._table_bits)
+            index = (branch_id ^ folded ^ (branch_id >> (i + 1))) & self._table_mask
+            tag_fold = _fold(history, length, self._tag_bits)
+            tag = (branch_id ^ (tag_fold << 1) ^ tag_fold) & self._tag_mask
+            out.append((index, tag))
+        return out
+
+    # -- predictor interface ----------------------------------------------
+
+    def lookup(self, branch_id: int) -> Prediction:
+        history = self._history
+        slots = self._indices_tags(branch_id, history)
+        provider: Optional[int] = None
+        alt: Optional[int] = None
+        for i in range(len(self._lengths) - 1, -1, -1):
+            index, tag = slots[i]
+            if self._tables[i][index].tag == tag:
+                if provider is None:
+                    provider = i
+                elif alt is None:
+                    alt = i
+                    break
+
+        base_index = branch_id & self._base_mask
+        base_taken = self._base[base_index] >= 2
+
+        if alt is not None:
+            alt_index, _ = slots[alt]
+            alt_taken = self._tables[alt][alt_index].counter >= 4
+        else:
+            alt_taken = base_taken
+
+        if provider is not None:
+            prov_index, _ = slots[provider]
+            taken = self._tables[provider][prov_index].counter >= 4
+        else:
+            taken = base_taken
+
+        self._history = (history << 1) | int(taken)
+        self._history &= (1 << self._max_history) - 1
+        meta = (branch_id, history, tuple(slots), provider, alt_taken,
+                base_index, taken)
+        return Prediction(taken=taken, meta=meta)
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        (branch_id, history, slots, provider, alt_taken, base_index,
+         predicted) = prediction.meta
+
+        if provider is not None:
+            index, _ = slots[provider]
+            entry = self._tables[provider][index]
+            entry.counter = saturating_update(entry.counter, taken, maximum=7)
+            provider_taken = predicted
+            if provider_taken != alt_taken:
+                entry.useful = saturating_update(
+                    entry.useful, provider_taken == taken
+                )
+        else:
+            self._base[base_index] = saturating_update(
+                self._base[base_index], taken
+            )
+
+        # Allocate a new entry on a misprediction, in a longer-history table.
+        if predicted != taken:
+            start = (provider + 1) if provider is not None else 0
+            allocated = False
+            for i in range(start, len(self._lengths)):
+                index, tag = slots[i]
+                entry = self._tables[i][index]
+                if entry.useful == 0:
+                    entry.tag = tag
+                    entry.counter = 4 if taken else 3
+                    allocated = True
+                    break
+            if not allocated:
+                for i in range(start, len(self._lengths)):
+                    index, _ = slots[i]
+                    entry = self._tables[i][index]
+                    entry.useful = max(entry.useful - 1, 0)
+            # Repair speculative history.
+            self._history = (history << 1) | int(taken)
+            self._history &= (1 << self._max_history) - 1
+
+        # Periodic graceful aging of usefulness (cheap stand-in for the
+        # standard u-bit reset policy).
+        self._alloc_tick += 1
+        if self._alloc_tick >= 1 << 18:
+            self._alloc_tick = 0
+            for table in self._tables:
+                for entry in table:
+                    entry.useful >>= 1
+
+
+class _LoopEntry:
+    __slots__ = ("trip", "count", "confidence")
+
+    def __init__(self) -> None:
+        self.trip = -1  # learned run length of the repeating direction
+        self.count = 0
+        self.confidence = 0
+
+
+class IslTagePredictor(DirectionPredictor):
+    """TAGE plus a loop predictor and a small statistical corrector.
+
+    A simplified stand-in for Seznec's ISL-TAGE: the loop component learns
+    constant-trip-count branches exactly, and the corrector learns, per
+    site, whether TAGE's prediction should be inverted when it has been
+    chronically wrong.
+    """
+
+    name = "isl-tage-64KB"
+
+    def __init__(self, loop_entries: int = 256, **tage_kwargs) -> None:
+        defaults = dict(
+            base_entries=32768,
+            table_bits=13,
+            tag_bits=12,
+            history_lengths=(4, 9, 19, 40, 80, 160, 320),
+        )
+        defaults.update(tage_kwargs)
+        self._tage = TagePredictor(**defaults)
+        self._loop_mask = loop_entries - 1
+        self._loops = [_LoopEntry() for _ in range(loop_entries)]
+        # Statistical corrector: per-site signed confidence in TAGE.
+        self._corrector = {}
+
+    def lookup(self, branch_id: int) -> Prediction:
+        tage_pred = self._tage.lookup(branch_id)
+        taken = tage_pred.taken
+
+        loop = self._loops[branch_id & self._loop_mask]
+        use_loop = loop.trip > 0 and loop.confidence >= 3
+        if use_loop:
+            # Predict "continue the run" until the learned trip, then flip.
+            taken = loop.count < loop.trip
+
+        corr = self._corrector.get(branch_id, 0)
+        if corr <= -4:
+            taken = not taken
+
+        meta = (branch_id, tage_pred, use_loop, taken)
+        return Prediction(taken=taken, meta=meta)
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        branch_id, tage_pred, use_loop, final_taken = prediction.meta
+        self._tage.update(tage_pred, taken)
+
+        corr = self._corrector.get(branch_id, 0)
+        if tage_pred.taken == taken:
+            corr = min(corr + 1, 7)
+        else:
+            corr = max(corr - 1, -7)
+        self._corrector[branch_id] = corr
+
+        loop = self._loops[branch_id & self._loop_mask]
+        if taken:
+            loop.count += 1
+        else:
+            run = loop.count
+            loop.count = 0
+            if run > 0:
+                if run == loop.trip:
+                    loop.confidence = min(loop.confidence + 1, 7)
+                else:
+                    loop.trip = run
+                    loop.confidence = 0

@@ -1,0 +1,75 @@
+"""Branch-trace persistence and replay.
+
+Profiling runs produce (branch_id, outcome) traces; this module saves and
+reloads them in a compact text format so expensive profiles can be reused
+across sessions and predictors can be compared offline on identical
+streams (the methodology behind the Section 5.3 study).
+
+Format: one line per event, ``<branch_id> <0|1>``, with ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Tuple, Union
+
+from .base import DirectionPredictor
+from .measure import BranchStats, measure_trace
+
+Trace = List[Tuple[int, bool]]
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: Iterable[Tuple[int, bool]], path: PathLike) -> int:
+    """Write a trace; returns the number of events written."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write("# repro branch trace v1\n")
+        for branch_id, taken in trace:
+            handle.write(f"{branch_id} {int(taken)}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    trace: Trace = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2 or parts[1] not in ("0", "1"):
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line {line!r}"
+                )
+            trace.append((int(parts[0]), parts[1] == "1"))
+    return trace
+
+
+def replay(
+    trace: Trace,
+    predictor_factory: Callable[[], DirectionPredictor],
+    warmup_fraction: float = 0.2,
+) -> Dict[int, BranchStats]:
+    """Measure a stored trace with a fresh predictor."""
+    return measure_trace(
+        trace, predictor_factory, warmup_fraction=warmup_fraction
+    )
+
+
+def compare_predictors(
+    trace: Trace,
+    factories: Dict[str, Callable[[], DirectionPredictor]],
+    warmup_fraction: float = 0.2,
+) -> Dict[str, float]:
+    """Overall accuracy of each predictor on the same trace."""
+    accuracies: Dict[str, float] = {}
+    for name, factory in factories.items():
+        stats = replay(trace, factory, warmup_fraction)
+        executions = sum(s.executions for s in stats.values())
+        correct = sum(s.correct for s in stats.values())
+        accuracies[name] = correct / executions if executions else 1.0
+    return accuracies

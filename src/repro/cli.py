@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation artifacts:
+
+* ``table2``                      -- regenerate Table 2
+* ``figure fig8|fig9|...|fig13``  -- speedup figures
+* ``predvbias int2006|fp2006``    -- Figures 2/3 curves
+* ``taxonomy [suite]``            -- Figure 1 census
+* ``sensitivity``                 -- Section 5.3 predictor ladder
+* ``motivation``                  -- Section 1 in-order vs OOO premise
+* ``quadrants``                   -- Figure 1 prescriptions, empirically
+* ``sideeffects``                 -- Figure 14 + Section 6.1
+* ``ablations``                   -- design-choice sweeps
+* ``bench <name>``                -- one benchmark, baseline vs decomposed
+* ``timeline <name>``             -- issue-timeline visualisation
+
+All commands accept ``--iterations N`` and ``--seeds K`` to trade fidelity
+for time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import RunConfig, run_benchmark
+
+
+def _config(args) -> RunConfig:
+    return RunConfig(
+        iterations=args.iterations,
+        ref_seeds=tuple(range(1, args.seeds + 1)),
+    )
+
+
+def _cmd_table2(args) -> None:
+    from .experiments.table2 import render, run
+
+    print(render(run(_config(args))))
+
+
+def _cmd_figure(args) -> None:
+    from .experiments.speedups import run_figure
+
+    config = RunConfig(
+        iterations=args.iterations,
+        ref_seeds=tuple(range(1, args.seeds + 1)),
+        widths=(2, 4, 8) if args.all_widths else (4,),
+    )
+    print(run_figure(args.name, config).render())
+
+
+def _cmd_predvbias(args) -> None:
+    from .experiments.pred_vs_bias import run
+
+    print(run(args.suite).render())
+
+
+def _cmd_taxonomy(args) -> None:
+    from .experiments.taxonomy import run
+
+    print(run(args.suite, config=_config(args)).render())
+
+
+def _cmd_sensitivity(args) -> None:
+    from .experiments.sensitivity import run
+
+    print(run(config=_config(args)).render())
+
+
+def _cmd_sideeffects(args) -> None:
+    from .experiments.side_effects import run_icache, run_issue_increase
+
+    config = _config(args)
+    print(run_issue_increase(config).render())
+    print()
+    print(run_icache(config).render())
+
+
+def _cmd_ablations(args) -> None:
+    from .experiments.ablations import render_all
+
+    print(render_all(_config(args)))
+
+
+def _cmd_quadrants(args) -> None:
+    from .experiments.quadrants import run
+
+    print(run(config=_config(args)).render())
+
+
+def _cmd_motivation(args) -> None:
+    from .experiments.motivation import run
+
+    print(run(config=_config(args)).render())
+
+
+def _cmd_bench(args) -> None:
+    outcome = run_benchmark(args.name, _config(args))
+    metrics = outcome.metrics
+    print(
+        f"{outcome.name}: {metrics.spd:.1f}% speedup "
+        f"({outcome.converted}/{outcome.forward_branches} branches converted)"
+    )
+    print(
+        f"  PBC {metrics.pbc:.1f}%  PDIH {metrics.pdih:.1f}%  "
+        f"ASPCB {metrics.aspcb:.1f}  MPPKI {metrics.mppki:.1f}  "
+        f"PISCS {metrics.piscs:.1f}%"
+    )
+
+
+def _cmd_timeline(args) -> None:
+    from .compiler import compile_baseline, compile_decomposed
+    from .uarch import render_timeline
+    from .workloads import spec_benchmark
+
+    spec = spec_benchmark(args.name, iterations=args.iterations)
+    func = spec.build(seed=1)
+    baseline = compile_baseline(func)
+    which = compile_decomposed(func, profile=baseline.profile) \
+        if args.decomposed else baseline
+    print(
+        render_timeline(
+            which.program, start=args.start, count=args.count
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Branch Vanguard reproduction (ISCA 2015)",
+    )
+    parser.add_argument("--iterations", type=int, default=500)
+    parser.add_argument("--seeds", type=int, default=1)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2").set_defaults(func=_cmd_table2)
+
+    figure = sub.add_parser("figure")
+    figure.add_argument(
+        "name",
+        choices=["fig8", "fig9", "fig10", "fig11", "fig12", "fig13"],
+    )
+    figure.add_argument("--all-widths", action="store_true")
+    figure.set_defaults(func=_cmd_figure)
+
+    predvbias = sub.add_parser("predvbias")
+    predvbias.add_argument(
+        "suite", choices=["int2006", "fp2006", "int2000", "fp2000"]
+    )
+    predvbias.set_defaults(func=_cmd_predvbias)
+
+    taxonomy = sub.add_parser("taxonomy")
+    taxonomy.add_argument("suite", nargs="?", default="int2006")
+    taxonomy.set_defaults(func=_cmd_taxonomy)
+
+    sub.add_parser("sensitivity").set_defaults(func=_cmd_sensitivity)
+    sub.add_parser("motivation").set_defaults(func=_cmd_motivation)
+    sub.add_parser("quadrants").set_defaults(func=_cmd_quadrants)
+    sub.add_parser("sideeffects").set_defaults(func=_cmd_sideeffects)
+    sub.add_parser("ablations").set_defaults(func=_cmd_ablations)
+
+    bench = sub.add_parser("bench")
+    bench.add_argument("name")
+    bench.set_defaults(func=_cmd_bench)
+
+    timeline = sub.add_parser("timeline")
+    timeline.add_argument("name")
+    timeline.add_argument("--baseline", dest="decomposed",
+                          action="store_false")
+    timeline.add_argument("--start", type=int, default=0)
+    timeline.add_argument("--count", type=int, default=24)
+    timeline.set_defaults(func=_cmd_timeline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

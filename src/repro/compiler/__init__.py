@@ -1,0 +1,36 @@
+"""Compiler passes: profiling, scheduling, layout, and the baseline /
+decomposed compilation pipelines."""
+
+from .dce import eliminate_dead_code
+from .pipeline import (
+    CompilationResult,
+    compile_baseline,
+    compile_decomposed,
+    compile_predicated,
+)
+from .predicate import (
+    PredicationError,
+    PredicationReport,
+    predicate_branch,
+    predicate_candidates,
+)
+from .profile import profile_function, profile_program
+from .scheduler import schedule_block_body, schedule_function
+from .superblock import optimize_layout
+
+__all__ = [
+    "CompilationResult",
+    "compile_baseline",
+    "compile_decomposed",
+    "compile_predicated",
+    "eliminate_dead_code",
+    "PredicationError",
+    "PredicationReport",
+    "predicate_branch",
+    "predicate_candidates",
+    "optimize_layout",
+    "profile_function",
+    "profile_program",
+    "schedule_block_body",
+    "schedule_function",
+]

@@ -1,0 +1,63 @@
+"""Dead-code elimination.
+
+The Decomposed Branch Transformation can leave dead definitions behind
+(e.g. a pushed-down slice's duplicate whose value one path never consumes).
+This liveness-driven pass removes side-effect-free instructions whose
+destinations are never read, shrinking the PISCS overhead; it is optional
+in the pipeline (off by default to keep the baseline/experimental diff
+minimal) and is exercised by the code-size studies.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir import Function, analyze_liveness, uses
+from ..isa import Instruction
+
+
+def _has_side_effects(inst: Instruction) -> bool:
+    # Stores write memory; control flow steers; speculative loads are
+    # side-effect-free by construction, but ordinary loads may fault, so
+    # they are conservatively kept unless marked non-faulting.
+    if inst.is_store or inst.is_control or inst.is_terminator:
+        return True
+    if inst.is_load and not inst.speculative:
+        return True
+    return False
+
+
+def eliminate_dead_code(func: Function, max_passes: int = 8) -> int:
+    """Remove dead definitions, iterating to a fixed point.
+
+    Returns the number of instructions removed.
+    """
+    removed_total = 0
+    for _ in range(max_passes):
+        liveness = analyze_liveness(func)
+        removed_this_pass = 0
+        for name, block in func.blocks.items():
+            live: Set[int] = set(liveness.live_out[name])
+            if block.terminator is not None:
+                live |= set(uses(block.terminator))
+            kept = []
+            for inst in reversed(block.body):
+                dest = inst.dest
+                dead = (
+                    dest is not None
+                    and dest not in live
+                    and not _has_side_effects(inst)
+                )
+                if dead:
+                    removed_this_pass += 1
+                    continue
+                kept.append(inst)
+                if dest is not None:
+                    live.discard(dest)
+                live |= set(uses(inst))
+            kept.reverse()
+            block.body = kept
+        removed_total += removed_this_pass
+        if not removed_this_pass:
+            break
+    return removed_total

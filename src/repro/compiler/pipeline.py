@@ -1,0 +1,125 @@
+"""Compilation pipelines: baseline vs decomposed-branch.
+
+Both pipelines share every pass except the decomposition itself, so a
+baseline/experimental cycle comparison isolates the paper's contribution:
+
+* baseline:     profile -> layout -> schedule -> lower
+* experimental: profile -> layout -> select -> decompose -> schedule -> lower
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..branchpred import BranchStats, DirectionPredictor, HybridPredictor
+from ..core.decompose import TransformConfig, TransformReport, transform_function
+from ..core.selection import SelectionConfig, SelectionReport, select_candidates
+from ..ir import Function, lower
+from ..isa import Program
+from .profile import profile_program
+from .scheduler import schedule_function
+from .superblock import optimize_layout
+
+
+@dataclass
+class CompilationResult:
+    """A compiled program plus everything the metrics need."""
+
+    program: Program
+    function: Function
+    profile: Dict[int, BranchStats]
+    selection: Optional[SelectionReport] = None
+    transform: Optional[TransformReport] = None
+
+
+def compile_baseline(
+    func: Function,
+    profile: Optional[Dict[int, BranchStats]] = None,
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+    apply_layout: bool = True,
+    profile_instructions: int = 2_000_000,
+) -> CompilationResult:
+    """The -O3-with-PGO stand-in: layout + local scheduling, no decomposition."""
+    worked = func.clone()
+    if profile is None:
+        profile = profile_program(
+            lower(worked),
+            predictor_factory,
+            max_instructions=profile_instructions,
+        )
+    if apply_layout:
+        optimize_layout(worked, profile)
+    schedule_function(worked)
+    return CompilationResult(
+        program=lower(worked), function=worked, profile=profile
+    )
+
+
+def compile_predicated(
+    func: Function,
+    profile: Optional[Dict[int, BranchStats]] = None,
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+    selection_config: SelectionConfig = SelectionConfig(),
+    apply_layout: bool = True,
+    profile_instructions: int = 2_000_000,
+) -> CompilationResult:
+    """Figure 1's alternative treatment: if-convert the unbiased,
+    *unpredictable* branches (predication) instead of decomposing the
+    predictable ones."""
+    from ..core.selection import select_predication_candidates
+    from .predicate import predicate_candidates
+
+    worked = func.clone()
+    if profile is None:
+        profile = profile_program(
+            lower(worked),
+            predictor_factory,
+            max_instructions=profile_instructions,
+        )
+    if apply_layout:
+        optimize_layout(worked, profile)
+    selection = select_predication_candidates(
+        worked, profile, selection_config
+    )
+    predicated, _report = predicate_candidates(worked, selection.candidates)
+    schedule_function(predicated)
+    return CompilationResult(
+        program=lower(predicated),
+        function=predicated,
+        profile=profile,
+        selection=selection,
+    )
+
+
+def compile_decomposed(
+    func: Function,
+    profile: Optional[Dict[int, BranchStats]] = None,
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+    selection_config: SelectionConfig = SelectionConfig(),
+    transform_config: TransformConfig = TransformConfig(),
+    apply_layout: bool = True,
+    profile_instructions: int = 2_000_000,
+) -> CompilationResult:
+    """The experimental pipeline with the Decomposed Branch Transformation."""
+    worked = func.clone()
+    if profile is None:
+        profile = profile_program(
+            lower(worked),
+            predictor_factory,
+            max_instructions=profile_instructions,
+        )
+    if apply_layout:
+        optimize_layout(worked, profile)
+    selection = select_candidates(worked, profile, selection_config)
+    transformed, report = transform_function(
+        worked, selection.candidates, transform_config
+    )
+    schedule_function(transformed)
+    return CompilationResult(
+        program=lower(transformed),
+        function=transformed,
+        profile=profile,
+        selection=selection,
+        transform=report,
+    )

@@ -1,0 +1,224 @@
+"""Predication (if-conversion): Figure 1's treatment for unbiased,
+*unpredictable* branches.
+
+"The classic solution has been predication... the cost of converting the
+control dependence into a data dependence and executing both paths is less
+than the amortized cost of the branch mispredictions being removed"
+(Section 1).  Implemented here so the Figure 1 quadrant prescriptions can
+be validated empirically: predication wins where the decomposed branch
+transformation loses, and vice versa.
+
+Mechanics for an eligible diamond (A -> {B taken-off?, C} -> M):
+
+* both successor bodies execute unconditionally, with every definition
+  renamed to a fresh temporary;
+* the paths' stores must pair up one-to-one on (base register, offset);
+  each pair becomes a SEL of the two values followed by one store;
+* every register the merge point consumes is reconciled with a SEL
+  keyed on the branch condition;
+* the branch, both blocks, and their terminators disappear -- A falls
+  straight through to the merge block.
+
+Loads on both paths become non-faulting (they now execute on iterations
+that would never have reached them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.decompose import free_temp_registers
+from ..core.selection import Candidate
+from ..ir import Function, analyze_liveness, predecessor_map
+from ..isa import Instruction, Opcode
+
+
+class PredicationError(Exception):
+    """Raised when a requested if-conversion is impossible."""
+
+
+@dataclass
+class PredicationReport:
+    converted: int = 0
+    sels_inserted: int = 0
+    stores_merged: int = 0
+    blocks: List[str] = field(default_factory=list)
+
+
+def _store_key(inst: Instruction) -> Tuple[int, int]:
+    return (inst.srcs[1], inst.imm or 0)
+
+
+def _eligible_body(body: Sequence[Instruction]) -> bool:
+    """Only plain computation and stores may be if-converted."""
+    return all(
+        not inst.is_control and inst.opcode is not Opcode.HALT
+        for inst in body
+    )
+
+
+def _rename_path(
+    body: Sequence[Instruction],
+    temp_pool: List[int],
+) -> Tuple[List[Instruction], Dict[int, int], List[Instruction]]:
+    """Copy a path with every definition renamed to a temporary.
+
+    Returns (renamed instructions, final rename map, renamed stores in
+    order).  Stores keep their (base, offset) but read renamed sources.
+    """
+    rename: Dict[int, int] = {}
+    out: List[Instruction] = []
+    stores: List[Instruction] = []
+    for inst in body:
+        new_srcs = tuple(rename.get(src, src) for src in inst.srcs)
+        if inst.is_store:
+            # Store base must be a path-invariant register (not renamed):
+            # a path-computed address could fault or alias arbitrarily.
+            if inst.srcs[1] in rename:
+                raise PredicationError("store through path-computed base")
+            renamed = replace(inst, srcs=new_srcs)
+            stores.append(renamed)
+            continue
+        dest = inst.dest
+        new_dest = dest
+        if dest is not None:
+            if dest not in rename:
+                if not temp_pool:
+                    raise PredicationError("out of temporaries")
+                rename[dest] = temp_pool.pop()
+            new_dest = rename[dest]
+        speculative = inst.speculative or inst.is_load
+        out.append(
+            replace(
+                inst, dest=new_dest, srcs=new_srcs, speculative=speculative
+            )
+        )
+    return out, rename, stores
+
+
+def predicate_branch(
+    func: Function,
+    block_name: str,
+    temp_pool: Optional[List[int]] = None,
+) -> PredicationReport:
+    """If-convert the diamond rooted at ``block_name``, in place."""
+    block_a = func.block(block_name)
+    branch = block_a.terminator
+    if branch is None or not branch.is_cond_branch:
+        raise PredicationError(f"{block_name} does not end in a branch")
+    name_taken = branch.target
+    name_fall = block_a.fallthrough
+    if not isinstance(name_taken, str) or name_fall is None:
+        raise PredicationError(f"{block_name} branch lacks two targets")
+    if name_taken == name_fall:
+        raise PredicationError(f"{block_name} is not a diamond")
+    taken_block = func.block(name_taken)
+    fall_block = func.block(name_fall)
+
+    preds = predecessor_map(func)
+    if len(preds[name_taken]) != 1 or len(preds[name_fall]) != 1:
+        raise PredicationError("successors have other predecessors")
+
+    # Both paths must rejoin at one merge block.
+    taken_succs = taken_block.successors()
+    fall_succs = fall_block.successors()
+    if len(taken_succs) != 1 or taken_succs != fall_succs:
+        raise PredicationError("paths do not rejoin at a single merge")
+    merge = taken_succs[0]
+
+    if not (_eligible_body(taken_block.body) and _eligible_body(fall_block.body)):
+        raise PredicationError("path contains control flow")
+
+    if temp_pool is None:
+        temp_pool = free_temp_registers(func)
+
+    cond = branch.srcs[0]
+    # BNZ: cond != 0 means the *taken* block runs; BZ inverts.
+    taken_when_nonzero = branch.opcode is Opcode.BNZ
+
+    taken_code, taken_map, taken_stores = _rename_path(
+        taken_block.body, temp_pool
+    )
+    fall_code, fall_map, fall_stores = _rename_path(
+        fall_block.body, temp_pool
+    )
+
+    # Stores must pair up exactly (same count, same addresses, in order).
+    if len(taken_stores) != len(fall_stores):
+        raise PredicationError("store counts differ between paths")
+    for a, b in zip(taken_stores, fall_stores):
+        if _store_key(a) != _store_key(b):
+            raise PredicationError("stores address different locations")
+
+    liveness = analyze_liveness(func)
+    merge_live = set(liveness.live_in[merge])
+
+    report = PredicationReport()
+    new_body: List[Instruction] = list(taken_code) + list(fall_code)
+
+    def select(dest: int, true_reg: int, false_reg: int) -> None:
+        if not taken_when_nonzero:
+            true_reg, false_reg = false_reg, true_reg
+        new_body.append(
+            Instruction(
+                opcode=Opcode.SEL, dest=dest, srcs=(cond, true_reg, false_reg)
+            )
+        )
+        report.sels_inserted += 1
+
+    # Reconcile merged stores.
+    for taken_store, fall_store in zip(taken_stores, fall_stores):
+        if not temp_pool:
+            raise PredicationError("out of temporaries")
+        value_temp = temp_pool.pop()
+        select(value_temp, taken_store.srcs[0], fall_store.srcs[0])
+        new_body.append(replace(taken_store, srcs=(value_temp, taken_store.srcs[1])))
+        report.stores_merged += 1
+
+    # Reconcile registers the merge consumes.
+    for reg in sorted(merge_live):
+        defined_taken = reg in taken_map
+        defined_fall = reg in fall_map
+        if not defined_taken and not defined_fall:
+            continue  # flows around the diamond untouched
+        select(
+            reg,
+            taken_map.get(reg, reg),
+            fall_map.get(reg, reg),
+        )
+
+    block_a.body.extend(new_body)
+    block_a.set_terminator(None)
+    block_a.fallthrough = merge
+    del func.blocks[name_taken]
+    del func.blocks[name_fall]
+    report.converted = 1
+    report.blocks.append(block_name)
+    return report
+
+
+def predicate_candidates(
+    func: Function, candidates: Sequence[Candidate]
+) -> Tuple[Function, PredicationReport]:
+    """If-convert every candidate diamond in a clone of ``func``.
+
+    Candidates whose shape is ineligible are skipped (the paper's
+    predication is likewise opportunistic).
+    """
+    worked = func.clone()
+    total = PredicationReport()
+    base_pool = free_temp_registers(worked)
+    for candidate in candidates:
+        try:
+            report = predicate_branch(
+                worked, candidate.block, temp_pool=list(base_pool)
+            )
+        except PredicationError:
+            continue
+        total.converted += report.converted
+        total.sels_inserted += report.sels_inserted
+        total.stores_merged += report.stores_merged
+        total.blocks.extend(report.blocks)
+    worked.validate()
+    return worked, total

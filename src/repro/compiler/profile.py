@@ -1,0 +1,39 @@
+"""Profile collection (the paper's TRAIN runs).
+
+"We run the TRAIN input sets to completion in PTLSim to collect branch bias
+and predictability" (Section 5).  Here: execute the baseline program
+functionally, record the interleaved branch trace, and measure it with the
+same predictor model the target machine uses, so the selection heuristic
+sees the predictability the hardware will actually achieve (including
+cross-branch aliasing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..branchpred import BranchStats, DirectionPredictor, HybridPredictor, measure_trace
+from ..ir import Function, lower
+from ..isa import Program
+from ..uarch import collect_branch_trace
+
+
+def profile_program(
+    program: Program,
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+    max_instructions: int = 2_000_000,
+) -> Dict[int, BranchStats]:
+    """Per-branch-site bias and predictability for one program run."""
+    trace = collect_branch_trace(program, max_instructions=max_instructions)
+    return measure_trace(trace, predictor_factory)
+
+
+def profile_function(
+    func: Function,
+    predictor_factory: Callable[[], DirectionPredictor] = HybridPredictor,
+    max_instructions: int = 2_000_000,
+) -> Dict[int, BranchStats]:
+    """Lower and profile an IR function directly."""
+    return profile_program(
+        lower(func), predictor_factory, max_instructions=max_instructions
+    )

@@ -1,0 +1,84 @@
+"""Profile-guided layout (the superblock-style baseline ingredient).
+
+Full superblock formation with tail duplication is out of scope (the paper
+uses it only as the pre-existing treatment of *highly-biased* branches,
+Fig. 1); what matters competitively is its first-order effect on an
+in-order front end: make the likely direction of a biased branch the
+fall-through so the hot path avoids taken-redirect bubbles.
+
+For every conditional branch whose profiled taken-rate exceeds
+``flip_threshold`` this pass flips the branch sense (``bnz -> T`` becomes
+``bz -> F``) and relocates the hot block to sit immediately after the
+branch.  Fall-through edges in this IR are by *name*, and lowering inserts
+explicit JMPs wherever layout adjacency is missing, so the relocation is
+always semantics-preserving.
+
+The pass runs on baseline and transformed code alike, so measured speedups
+isolate the Decomposed Branch Transformation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from ..branchpred import BranchStats
+from ..ir import Function
+from ..isa import Opcode
+
+_FLIPPED = {Opcode.BNZ: Opcode.BZ, Opcode.BZ: Opcode.BNZ}
+
+
+def _move_after(func: Function, name: str, after: str) -> None:
+    """Relocate block ``name`` to immediately follow ``after`` in layout."""
+    if name == after or name == func.entry.name:
+        return
+    block = func.blocks.pop(name)
+    items = []
+    for existing_name, existing in func.blocks.items():
+        items.append((existing_name, existing))
+        if existing_name == after:
+            items.append((name, block))
+    func.blocks = dict(items)
+
+
+def optimize_layout(
+    func: Function,
+    profile: Dict[int, BranchStats],
+    flip_threshold: float = 0.7,
+) -> int:
+    """Make heavily-taken branches fall through to their hot successor.
+
+    Returns the number of branches flipped.
+    """
+    flipped = 0
+    for name in list(func.blocks):
+        block = func.blocks[name]
+        term = block.terminator
+        if term is None or term.opcode not in _FLIPPED:
+            continue
+        branch_id = term.branch_id
+        if branch_id is None or branch_id not in profile:
+            continue
+        stats = profile[branch_id]
+        if not stats.executions:
+            continue
+        taken_rate = stats.taken / stats.executions
+        if taken_rate < flip_threshold:
+            continue
+        if not isinstance(term.target, str) or block.fallthrough is None:
+            continue
+        hot = term.target
+        if hot == func.entry.name or hot == name:
+            continue
+        # Leave loop latches alone: only forward branches are re-laid-out.
+        if func.layout_index(hot) <= func.layout_index(name):
+            continue
+        cold = block.fallthrough
+        block.terminator = replace(
+            term, opcode=_FLIPPED[term.opcode], target=cold
+        )
+        block.fallthrough = hot
+        _move_after(func, hot, name)
+        flipped += 1
+    return flipped

@@ -1,0 +1,58 @@
+"""The paper's contribution: prediction/resolution branch decomposition.
+
+* :mod:`repro.core.selection` -- the Figure 1 taxonomy and the
+  profile-guided heuristic (predictability - bias >= 5%, forward branches).
+* :mod:`repro.core.decompose` -- the Decomposed Branch Transformation
+  (Section 3, Figures 5/6).
+* :mod:`repro.core.dbb` -- the Decomposed Branch Buffer (Section 4,
+  Figure 7) used by the front end to defer predictor updates.
+"""
+
+from .dbb import DBBEntry, DecomposedBranchBuffer
+from .decompose import (
+    BranchTransform,
+    TransformConfig,
+    TransformError,
+    TransformReport,
+    decompose_branch,
+    free_temp_registers,
+    transform_function,
+)
+from .verify import (
+    VerificationReport,
+    verify,
+    verify_equivalence,
+    verify_function,
+)
+from .selection import (
+    BranchClass,
+    Candidate,
+    SelectionConfig,
+    SelectionReport,
+    classify_branch,
+    select_candidates,
+    select_predication_candidates,
+)
+
+__all__ = [
+    "BranchClass",
+    "BranchTransform",
+    "Candidate",
+    "DBBEntry",
+    "DecomposedBranchBuffer",
+    "SelectionConfig",
+    "SelectionReport",
+    "TransformConfig",
+    "TransformError",
+    "TransformReport",
+    "VerificationReport",
+    "classify_branch",
+    "decompose_branch",
+    "free_temp_registers",
+    "select_candidates",
+    "select_predication_candidates",
+    "transform_function",
+    "verify",
+    "verify_equivalence",
+    "verify_function",
+]

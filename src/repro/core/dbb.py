@@ -1,0 +1,104 @@
+"""The Decomposed Branch Buffer (Section 4, Figure 7).
+
+Because the PC of a PREDICT and the PC of its RESOLVE differ, the predictor
+update triggered by the RESOLVE must be re-associated with the metadata
+captured when the PREDICT was looked up.  The paper does this with a small
+FIFO in the front end:
+
+* On fetching a PREDICT, the tail pointer is advanced and the prediction
+  plus predictor-update metadata (table indices, history) is written at the
+  tail (Fig. 7a).
+* A RESOLVE always corresponds to the most recent PREDICT in program order;
+  it reads the tail pointer and carries that index down the pipe (Fig. 7b).
+* When the RESOLVE executes, the entry's metadata drives the predictor
+  update; on a mispredict, the re-steer path also uses it (Fig. 7c).
+
+The paper sizes it at 16 entries (4-bit index, 24 bits per entry) and notes
+that exceptional control flow may desynchronise predicts and resolves; one
+remedy is to invalidate entries and suppress updates from invalid entries,
+which :meth:`invalidate_all` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..branchpred import DirectionPredictor, Prediction
+
+
+@dataclass
+class DBBEntry:
+    prediction: Prediction
+    branch_id: int
+    valid: bool = True
+
+
+class DecomposedBranchBuffer:
+    """Circular FIFO re-associating RESOLVE outcomes with PREDICT metadata."""
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self._buffer: List[Optional[DBBEntry]] = [None] * entries
+        self._tail = entries - 1
+        self.inserts = 0
+        self.updates = 0
+        self.suppressed_updates = 0
+        self.max_outstanding = 0
+        self._outstanding = 0
+
+    @property
+    def tail(self) -> int:
+        return self._tail
+
+    def insert(self, prediction: Prediction, branch_id: int) -> int:
+        """Record a PREDICT's metadata; returns the 4-bit DBB index that the
+        matching RESOLVE will carry down the pipeline."""
+        self._tail = (self._tail + 1) & (self.entries - 1)
+        self._buffer[self._tail] = DBBEntry(
+            prediction=prediction, branch_id=branch_id
+        )
+        self.inserts += 1
+        self._outstanding += 1
+        self.max_outstanding = max(self.max_outstanding, self._outstanding)
+        return self._tail
+
+    def read(self, index: int) -> Optional[DBBEntry]:
+        return self._buffer[index & (self.entries - 1)]
+
+    def resolve(
+        self,
+        index: int,
+        actual_taken: bool,
+        predictor: DirectionPredictor,
+    ) -> bool:
+        """Apply the deferred predictor update for entry ``index``.
+
+        Returns True when the PREDICT's direction was correct.  Updates from
+        invalidated or missing entries are suppressed (the paper's remedy
+        for exceptional control flow).
+        """
+        entry = self._buffer[index & (self.entries - 1)]
+        self._outstanding = max(self._outstanding - 1, 0)
+        if entry is None or not entry.valid:
+            self.suppressed_updates += 1
+            return True
+        predictor.update(entry.prediction, actual_taken)
+        self.updates += 1
+        return entry.prediction.taken == actual_taken
+
+    def recover_tail(self, tail: int) -> None:
+        """Restore the tail pointer after a non-decomposed branch
+        misprediction (Section 4: 'the same mechanism used to recover branch
+        history can be used for this purpose')."""
+        self._tail = tail & (self.entries - 1)
+
+    def invalidate_all(self) -> None:
+        """Mark every entry invalid, e.g. on interrupt/exception/context
+        switch, so stale entries cannot cause spurious predictor updates."""
+        for entry in self._buffer:
+            if entry is not None:
+                entry.valid = False
+        self._outstanding = 0

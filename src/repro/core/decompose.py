@@ -1,0 +1,399 @@
+"""The Decomposed Branch Transformation (Section 3, Figures 5 and 6).
+
+Given a predictable-but-unbiased forward branch terminating block **A** with
+successors **B** (fall-through / not-taken) and **C** (taken), the transform:
+
+1. Replaces the branch with a ``PREDICT`` and creates two resolution blocks
+   **BA'** (predicted not-taken path) and **CA'** (predicted taken path),
+   each ending in a ``RESOLVE`` (Fig. 5b).
+2. Pushes the branch-resolution slice of **A** (the compare and anything
+   feeding only it) down into both resolution blocks (Fig. 5c).
+3. Hoists the safely-speculable prefix of **B** into **BA'** and of **C**
+   into **CA'**, marking hoisted loads non-faulting and renaming
+   destinations that are live into the alternate path (or that the
+   resolution slice needs) to speculation temporaries (Fig. 5d).
+4. Adds correction blocks **Correct-B** / **Correct-C** that re-execute the
+   alternate side's hoisted work on the architecturally-correct path and
+   jump back into the main flow, and fix-up blocks that copy temporaries
+   into their architected registers in the shadow of a confirming RESOLVE.
+
+Correction blocks are appended at the end of the function, mirroring the
+paper's observation that recovery code can live on separate pages so it
+does not disturb I-cache behaviour.
+
+The transformation is semantics-preserving for *any* prediction stream;
+the property-based tests drive transformed programs down adversarial
+predictions and assert architectural equivalence with the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa import FIRST_TEMP_REGISTER, Instruction, LINK_REGISTER, Opcode
+from ..ir import (
+    BasicBlock,
+    Function,
+    analyze_liveness,
+    available_above,
+    registers_referenced,
+)
+from .selection import Candidate
+
+_ALL_REGS = frozenset(range(64))
+
+
+@dataclass(frozen=True)
+class TransformConfig:
+    """Tuning knobs for the transformation."""
+
+    #: Maximum instructions hoisted from each successor block.
+    max_hoist_per_side: int = 12
+    #: Whether to push the resolution slice of A down into the A' blocks.
+    push_down_slice: bool = True
+
+
+@dataclass
+class BranchTransform:
+    """What happened to one converted branch."""
+
+    block: str
+    branch_id: int
+    pushed_down: int
+    hoisted_not_taken: int
+    hoisted_taken: int
+    temps_used: int
+    fixup_moves: int
+
+
+@dataclass
+class TransformReport:
+    """Aggregate outcome over one function."""
+
+    static_before: int = 0
+    static_after: int = 0
+    transforms: List[BranchTransform] = field(default_factory=list)
+
+    @property
+    def converted(self) -> int:
+        return len(self.transforms)
+
+    @property
+    def pisc(self) -> float:
+        """% increase in static code size (Table 2's PISCS)."""
+        if not self.static_before:
+            return 0.0
+        return 100.0 * (self.static_after - self.static_before) / self.static_before
+
+    @property
+    def total_hoisted(self) -> int:
+        return sum(
+            t.hoisted_not_taken + t.hoisted_taken for t in self.transforms
+        )
+
+
+class TransformError(Exception):
+    """Raised when a requested decomposition is structurally impossible."""
+
+
+def _resolution_slice(
+    body: Sequence[Instruction], cond_reg: int
+) -> List[int]:
+    """Indices of A-body instructions safely pushable into the A' blocks.
+
+    We take the backward closure feeding only the condition, restricted to
+    non-memory operations, and honour reordering constraints against the
+    instructions that stay in A (a pushed instruction moves *after* every
+    unpushed instruction that followed it).
+    """
+    needed: Set[int] = {cond_reg}
+    unpushed_uses: Set[int] = set()
+    unpushed_writes: Set[int] = set()
+    pushed: List[int] = []
+    for i in range(len(body) - 1, -1, -1):
+        inst = body[i]
+        dest = inst.dest
+        can_push = (
+            dest is not None
+            and dest in needed
+            and not inst.is_mem
+            and dest not in unpushed_uses
+            and dest not in unpushed_writes
+            and all(src not in unpushed_writes for src in inst.srcs)
+        )
+        if can_push:
+            pushed.append(i)
+            needed.update(inst.srcs)
+        else:
+            unpushed_uses.update(inst.srcs)
+            if dest is not None:
+                unpushed_writes.add(dest)
+    pushed.reverse()
+    return pushed
+
+
+def _rename_hoisted(
+    body: Sequence[Instruction],
+    hoist_indices: List[int],
+    protected: Set[int],
+    temp_pool: List[int],
+) -> Tuple[List[Instruction], List[Instruction], Dict[int, int]]:
+    """Produce the speculative copies of the hoisted instructions.
+
+    Destinations in ``protected`` (live into the alternate path, or needed
+    by the resolution slice / condition) are renamed to temporaries drawn
+    from ``temp_pool``; fix-up MOVs restore the architected registers on
+    the confirmed path.  Hoisting stops early if temporaries run out.
+
+    Returns (hoisted copies, fix-up moves, rename map).
+    """
+    rename: Dict[int, int] = {}
+    hoisted: List[Instruction] = []
+    for i in hoist_indices:
+        inst = body[i]
+        # Sources map through the rename state *before* this instruction:
+        # an instruction that reads and writes the same register (e.g. a
+        # pointer-chase step ``load r, [r]``) must read the live-in value.
+        new_srcs = tuple(rename.get(src, src) for src in inst.srcs)
+        dest = inst.dest
+        new_dest = dest
+        if dest is not None and dest in protected:
+            if dest not in rename:
+                if not temp_pool:
+                    break  # out of temps: hoist nothing further
+                rename[dest] = temp_pool.pop()
+            new_dest = rename[dest]
+        hoisted.append(
+            replace(
+                inst,
+                dest=new_dest,
+                srcs=new_srcs,
+                speculative=inst.speculative or inst.is_load,
+                hoisted=True,
+            )
+        )
+    fixups = [
+        Instruction(opcode=Opcode.MOV, dest=orig, srcs=(temp,))
+        for orig, temp in sorted(rename.items())
+    ]
+    return hoisted, fixups, rename
+
+
+def _resolve_opcodes(branch_op: Opcode) -> Tuple[Opcode, Opcode]:
+    """(opcode for the predicted-not-taken RESOLVE, for the predicted-taken
+    RESOLVE) given the original branch opcode.
+
+    On the not-taken path we divert when the branch would actually have
+    been taken, and vice versa.
+    """
+    if branch_op is Opcode.BNZ:
+        return Opcode.RESOLVE_NZ, Opcode.RESOLVE_Z
+    if branch_op is Opcode.BZ:
+        return Opcode.RESOLVE_Z, Opcode.RESOLVE_NZ
+    raise TransformError(f"{branch_op} is not a decomposable branch")
+
+
+def free_temp_registers(func: Function) -> List[int]:
+    """Speculation temporaries not referenced anywhere in ``func``."""
+    used = registers_referenced(func)
+    return [
+        reg
+        for reg in range(FIRST_TEMP_REGISTER, LINK_REGISTER)
+        if reg not in used
+    ]
+
+
+def decompose_branch(
+    func: Function,
+    block_name: str,
+    config: TransformConfig = TransformConfig(),
+    temp_pool: Optional[List[int]] = None,
+) -> BranchTransform:
+    """Apply the Decomposed Branch Transformation to one branch, in place."""
+    block_a = func.block(block_name)
+    branch = block_a.terminator
+    if branch is None or not branch.is_cond_branch:
+        raise TransformError(f"block {block_name} does not end in a branch")
+    if not isinstance(branch.target, str) or block_a.fallthrough is None:
+        raise TransformError(f"branch in {block_name} has no two-way targets")
+
+    name_b = block_a.fallthrough  # not-taken successor
+    name_c = branch.target  # taken successor
+    if name_b == name_c or block_name in (name_b, name_c):
+        raise TransformError(f"branch in {block_name} is not a diamond")
+    block_b = func.block(name_b)
+    block_c = func.block(name_c)
+
+    cond_reg = branch.srcs[0]
+    branch_id = branch.branch_id
+    if branch_id is None:
+        raise TransformError(f"branch in {block_name} has no branch_id")
+    if temp_pool is None:
+        temp_pool = free_temp_registers(func)
+
+    liveness = analyze_liveness(func)
+
+    # -- step 2: the resolution slice of A ------------------------------
+    if config.push_down_slice:
+        slice_indices = _resolution_slice(block_a.body, cond_reg)
+    else:
+        slice_indices = []
+    slice_insts = [block_a.body[i] for i in slice_indices]
+    slice_regs: Set[int] = {cond_reg}
+    for inst in slice_insts:
+        slice_regs.update(inst.srcs)
+        if inst.dest is not None:
+            slice_regs.add(inst.dest)
+
+    # -- step 3: hoistable prefixes of B and C ---------------------------
+    hoist_b = available_above(block_b.body, set(_ALL_REGS))
+    hoist_b = hoist_b[: config.max_hoist_per_side]
+    hoist_c = available_above(block_c.body, set(_ALL_REGS))
+    hoist_c = hoist_c[: config.max_hoist_per_side]
+
+    protected_b = set(slice_regs) | set(liveness.live_in[name_c])
+    protected_c = set(slice_regs) | set(liveness.live_in[name_b])
+
+    hoisted_b, fixups_b, rename_b = _rename_hoisted(
+        block_b.body, hoist_b, protected_b, temp_pool
+    )
+    hoisted_c, fixups_c, rename_c = _rename_hoisted(
+        block_c.body, hoist_c, protected_c, temp_pool
+    )
+    # _rename_hoisted may stop early on temp exhaustion.
+    hoist_b = hoist_b[: len(hoisted_b)]
+    hoist_c = hoist_c[: len(hoisted_c)]
+
+    # -- block names ------------------------------------------------------
+    name_ba = func.fresh_block_name(f"{block_name}.nt")
+    name_ca = func.fresh_block_name(f"{block_name}.t")
+    name_b_fix = func.fresh_block_name(f"{name_b}.fix") if fixups_b else None
+    name_c_fix = func.fresh_block_name(f"{name_c}.fix") if fixups_c else None
+    name_correct_c = (
+        func.fresh_block_name(f"{block_name}.correct.t") if hoist_c else None
+    )
+    name_correct_b = (
+        func.fresh_block_name(f"{block_name}.correct.nt") if hoist_b else None
+    )
+
+    resolve_nt_op, resolve_t_op = _resolve_opcodes(branch.opcode)
+
+    # -- build BA' (predicted not taken) ----------------------------------
+    ba = BasicBlock(name=name_ba)
+    ba.body.extend(slice_insts)
+    ba.body.extend(hoisted_b)
+    ba.set_terminator(
+        Instruction(
+            opcode=resolve_nt_op,
+            srcs=(cond_reg,),
+            target=name_correct_c if name_correct_c else name_c,
+            branch_id=branch_id,
+            predicted_dir=False,
+        ),
+        fallthrough=name_b_fix if name_b_fix else name_b,
+    )
+
+    # -- build CA' (predicted taken) ---------------------------------------
+    ca = BasicBlock(name=name_ca)
+    ca.body.extend(slice_insts)
+    ca.body.extend(hoisted_c)
+    ca.set_terminator(
+        Instruction(
+            opcode=resolve_t_op,
+            srcs=(cond_reg,),
+            target=name_correct_b if name_correct_b else name_b,
+            branch_id=branch_id,
+            predicted_dir=True,
+        ),
+        fallthrough=name_c_fix if name_c_fix else name_c,
+    )
+
+    # -- rewrite A ----------------------------------------------------------
+    slice_set = set(slice_indices)
+    block_a.body = [
+        inst for i, inst in enumerate(block_a.body) if i not in slice_set
+    ]
+    block_a.set_terminator(
+        Instruction(
+            opcode=Opcode.PREDICT, target=name_ca, branch_id=branch_id
+        ),
+        fallthrough=name_ba,
+    )
+
+    # -- trim the hoisted prefixes out of B and C ----------------------------
+    hoist_b_set = set(hoist_b)
+    hoist_c_set = set(hoist_c)
+    original_b_prefix = [block_b.body[i] for i in hoist_b]
+    original_c_prefix = [block_c.body[i] for i in hoist_c]
+    block_b.body = [
+        inst for i, inst in enumerate(block_b.body) if i not in hoist_b_set
+    ]
+    block_c.body = [
+        inst for i, inst in enumerate(block_c.body) if i not in hoist_c_set
+    ]
+
+    # -- lay out the new blocks ----------------------------------------------
+    func.add_block(ba, after=block_name)
+    if name_b_fix:
+        fix_b = BasicBlock(
+            name=name_b_fix, body=list(fixups_b), fallthrough=name_b
+        )
+        func.add_block(fix_b, after=name_ba)
+
+    layout = func.layout()
+    before_c = layout[layout.index(name_c) - 1]
+    func.add_block(ca, after=before_c)
+    if name_c_fix:
+        fix_c = BasicBlock(
+            name=name_c_fix, body=list(fixups_c), fallthrough=name_c
+        )
+        func.add_block(fix_c, after=name_ca)
+
+    # Correction blocks go at the end of the function, off the hot path
+    # (the paper places recovery code on separate pages).
+    tail = func.layout()[-1]
+    if name_correct_c:
+        correct_c = BasicBlock(name=name_correct_c, body=list(original_c_prefix))
+        correct_c.set_terminator(
+            Instruction(opcode=Opcode.JMP, target=name_c)
+        )
+        func.add_block(correct_c, after=tail)
+        tail = name_correct_c
+    if name_correct_b:
+        correct_b = BasicBlock(name=name_correct_b, body=list(original_b_prefix))
+        correct_b.set_terminator(
+            Instruction(opcode=Opcode.JMP, target=name_b)
+        )
+        func.add_block(correct_b, after=tail)
+
+    return BranchTransform(
+        block=block_name,
+        branch_id=branch_id,
+        pushed_down=len(slice_insts),
+        hoisted_not_taken=len(hoisted_b),
+        hoisted_taken=len(hoisted_c),
+        temps_used=len(rename_b) + len(rename_c),
+        fixup_moves=len(fixups_b) + len(fixups_c),
+    )
+
+
+def transform_function(
+    func: Function,
+    candidates: Sequence[Candidate],
+    config: TransformConfig = TransformConfig(),
+) -> Tuple[Function, TransformReport]:
+    """Decompose every candidate branch in a clone of ``func``."""
+    worked = func.clone()
+    report = TransformReport(static_before=func.static_instruction_count())
+    base_pool = free_temp_registers(worked)
+    for candidate in candidates:
+        # Temporaries are live only between a resolution block and its
+        # fix-up block, so the pool is reusable across branches.
+        result = decompose_branch(
+            worked, candidate.block, config, temp_pool=list(base_pool)
+        )
+        report.transforms.append(result)
+    worked.validate()
+    report.static_after = worked.static_instruction_count()
+    return worked, report

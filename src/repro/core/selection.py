@@ -1,0 +1,170 @@
+"""Profile-guided branch selection (Section 5) and the Figure 1 taxonomy.
+
+The paper transforms *forward* conditional branches whose measured
+predictability exceeds their bias by at least 5% ("this heuristic provided
+the best overall performance").  Loop (backward) branches are excluded --
+they are highly biased and ably handled by loop transformations
+(footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..branchpred import BranchStats
+from ..ir import Function, is_forward_branch, predecessor_map
+
+
+class BranchClass(enum.Enum):
+    """Figure 1: transformation choice by bias x predictability."""
+
+    SUPERBLOCK = "superblock"  # highly biased (predictable follows)
+    DECOMPOSE = "decompose"  # low bias, high predictability: our contribution
+    PREDICATE = "predicate"  # low bias, low predictability
+    RARE = "rare"  # highly biased yet unpredictable: rarely occurs
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Knobs of the selection heuristic."""
+
+    #: Minimum (predictability - bias) to convert; the paper's 5%.
+    min_exposed_predictability: float = 0.05
+    #: Branches at or above this bias go to superblock formation instead.
+    superblock_bias: float = 0.90
+    #: Predictability floor below which predication wins.
+    min_predictability: float = 0.70
+    #: Ignore sites with fewer profiled executions than this.
+    min_executions: int = 32
+    #: Only forward branches are eligible (paper footnote 1).
+    require_forward: bool = True
+
+
+def classify_branch(
+    stats: BranchStats, config: SelectionConfig = SelectionConfig()
+) -> BranchClass:
+    """Place one branch in the Figure 1 quadrant."""
+    if stats.bias >= config.superblock_bias:
+        if stats.predictability >= config.min_predictability:
+            return BranchClass.SUPERBLOCK
+        return BranchClass.RARE
+    if (
+        stats.predictability >= config.min_predictability
+        and stats.exposed_predictability >= config.min_exposed_predictability
+    ):
+        return BranchClass.DECOMPOSE
+    return BranchClass.PREDICATE
+
+
+@dataclass
+class Candidate:
+    """One branch chosen for decomposition."""
+
+    block: str
+    branch_id: int
+    stats: BranchStats
+
+
+@dataclass
+class SelectionReport:
+    candidates: List[Candidate] = field(default_factory=list)
+    #: Static forward conditional branches examined.
+    forward_branches: int = 0
+    #: All static conditional branches examined.
+    conditional_branches: int = 0
+
+    @property
+    def pbc(self) -> float:
+        """% of static forward branches converted (Table 2's PBC)."""
+        if not self.forward_branches:
+            return 0.0
+        return 100.0 * len(self.candidates) / self.forward_branches
+
+
+def _structurally_eligible(func: Function, block_name: str) -> bool:
+    """The transformation's CFG preconditions.
+
+    Both successors must be distinct blocks whose only predecessor is the
+    branch block, so that splitting off their hoistable prefixes cannot
+    perturb other paths.
+    """
+    block = func.block(block_name)
+    term = block.terminator
+    if term is None or not term.is_cond_branch:
+        return False
+    taken = term.target
+    fall = block.fallthrough
+    if not isinstance(taken, str) or fall is None or taken == fall:
+        return False
+    if block_name in (taken, fall):
+        return False
+    preds = predecessor_map(func)
+    return len(preds[taken]) == 1 and len(preds[fall]) == 1
+
+
+def select_predication_candidates(
+    func: Function,
+    profile: Dict[int, BranchStats],
+    config: SelectionConfig = SelectionConfig(),
+) -> SelectionReport:
+    """Figure 1's other quadrant: unbiased *unpredictable* branches, the
+    ones predication (if-conversion) should treat."""
+    report = SelectionReport()
+    for name, block in func.blocks.items():
+        term = block.terminator
+        if term is None or not term.is_cond_branch:
+            continue
+        report.conditional_branches += 1
+        if is_forward_branch(func, block):
+            report.forward_branches += 1
+        else:
+            continue
+        branch_id = term.branch_id
+        if branch_id is None or branch_id not in profile:
+            continue
+        stats = profile[branch_id]
+        if stats.executions < config.min_executions:
+            continue
+        if classify_branch(stats, config) is not BranchClass.PREDICATE:
+            continue
+        if not _structurally_eligible(func, name):
+            continue
+        report.candidates.append(
+            Candidate(block=name, branch_id=branch_id, stats=stats)
+        )
+    return report
+
+
+def select_candidates(
+    func: Function,
+    profile: Dict[int, BranchStats],
+    config: SelectionConfig = SelectionConfig(),
+) -> SelectionReport:
+    """Apply the paper's heuristic to a profiled function."""
+    report = SelectionReport()
+    for name, block in func.blocks.items():
+        term = block.terminator
+        if term is None or not term.is_cond_branch:
+            continue
+        report.conditional_branches += 1
+        forward = is_forward_branch(func, block)
+        if forward:
+            report.forward_branches += 1
+        if config.require_forward and not forward:
+            continue
+        branch_id = term.branch_id
+        if branch_id is None or branch_id not in profile:
+            continue
+        stats = profile[branch_id]
+        if stats.executions < config.min_executions:
+            continue
+        if classify_branch(stats, config) is not BranchClass.DECOMPOSE:
+            continue
+        if not _structurally_eligible(func, name):
+            continue
+        report.candidates.append(
+            Candidate(block=name, branch_id=branch_id, stats=stats)
+        )
+    return report

@@ -1,0 +1,206 @@
+"""Independent verifier for decomposed functions.
+
+The Decomposed Branch Transformation is the part of the system a DBT
+vendor would least want to get wrong -- it speculatively *commits*
+wrong-path work and repairs it later.  This module re-checks a transformed
+function against structural invariants derived from Section 2.1/3, without
+sharing code with the transformation itself:
+
+* every PREDICT has exactly two RESOLVEs downstream, one per predicted
+  path, with matching ``branch_id`` and complementary ``predicted_dir``;
+* no PREDICT/RESOLVE is reordered or interleaved with another decomposed
+  branch (the compiler contract the DBB's FIFO discipline relies on);
+* hoisted loads above a RESOLVE are marked non-faulting;
+* no store appears between a PREDICT and its RESOLVEs (stores must stay
+  below the resolution point);
+* every RESOLVE's divert target exists and eventually rejoins the
+  confirmed path's control flow.
+
+It also offers a differential check that executes original and transformed
+programs under several prediction policies and compares final memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import Function, lower, successor_map
+from ..isa import Opcode
+from ..uarch import always_not_taken, always_taken, execute
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one transformed function."""
+
+    errors: List[str] = field(default_factory=list)
+    predicts_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def fail(self, message: str) -> None:
+        self.errors.append(message)
+
+
+def _resolves_reachable_from(
+    func: Function, start: str, limit: int = 64
+) -> List[Tuple[str, object]]:
+    """RESOLVE terminators reachable from ``start`` without crossing
+    another PREDICT or a RESOLVE (BFS over the CFG)."""
+    succs = successor_map(func)
+    seen: Set[str] = set()
+    frontier = [start]
+    found: List[Tuple[str, object]] = []
+    while frontier and len(seen) < limit:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        block = func.block(name)
+        term = block.terminator
+        if term is not None and term.is_resolve:
+            found.append((name, term))
+            continue  # do not look past the resolution point
+        if term is not None and term.is_predict:
+            continue  # a nested decomposed branch guards its own paths
+        frontier.extend(succs[name])
+    return found
+
+
+def verify_function(func: Function) -> VerificationReport:
+    """Statically check the decomposed-branch invariants."""
+    report = VerificationReport()
+    for name, block in func.blocks.items():
+        term = block.terminator
+        if term is None or not term.is_predict:
+            continue
+        report.predicts_checked += 1
+        prefix = f"predict in {name}"
+
+        if term.branch_id is None:
+            report.fail(f"{prefix}: missing branch_id")
+            continue
+        taken_entry = term.target
+        fall_entry = block.fallthrough
+        if not isinstance(taken_entry, str) or fall_entry is None:
+            report.fail(f"{prefix}: missing a successor path")
+            continue
+
+        for entry, expected_dir in (
+            (taken_entry, True),
+            (fall_entry, False),
+        ):
+            resolves = _resolves_reachable_from(func, entry)
+            if len(resolves) != 1:
+                report.fail(
+                    f"{prefix}: path via {entry} reaches "
+                    f"{len(resolves)} resolves (want exactly 1)"
+                )
+                continue
+            resolve_block, resolve = resolves[0]
+            if resolve.branch_id != term.branch_id:
+                report.fail(
+                    f"{prefix}: resolve in {resolve_block} has branch_id "
+                    f"{resolve.branch_id}, predict has {term.branch_id}"
+                )
+            if resolve.predicted_dir is not expected_dir:
+                report.fail(
+                    f"{prefix}: resolve in {resolve_block} marks "
+                    f"predicted_dir={resolve.predicted_dir}, "
+                    f"path implies {expected_dir}"
+                )
+            if not isinstance(resolve.target, str) or (
+                resolve.target not in func.blocks
+            ):
+                report.fail(
+                    f"{prefix}: resolve in {resolve_block} diverts to "
+                    f"missing block {resolve.target!r}"
+                )
+            _check_speculative_region(func, entry, resolve_block, report,
+                                      prefix)
+    return report
+
+
+def _check_speculative_region(
+    func: Function,
+    entry: str,
+    resolve_block: str,
+    report: VerificationReport,
+    prefix: str,
+) -> None:
+    """Blocks between a PREDICT and its RESOLVE hold speculative work:
+    loads must be non-faulting, stores must not appear at all."""
+    succs = successor_map(func)
+    seen: Set[str] = set()
+    frontier = [entry]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        block = func.block(name)
+        for inst in block.body:
+            if inst.is_store:
+                report.fail(
+                    f"{prefix}: store above the resolution point in {name}"
+                )
+            if inst.is_load and inst.hoisted and not inst.speculative:
+                report.fail(
+                    f"{prefix}: hoisted load in {name} is not marked "
+                    f"non-faulting"
+                )
+        if name == resolve_block:
+            continue
+        term = block.terminator
+        if term is not None and (term.is_resolve or term.is_predict):
+            continue
+        frontier.extend(succs[name])
+
+
+def verify_equivalence(
+    original: Function,
+    transformed: Function,
+    policies: int = 3,
+    seed: int = 0,
+    max_instructions: int = 3_000_000,
+) -> VerificationReport:
+    """Differentially execute both functions; memory images must match
+    under taken-biased, not-taken-biased, and random prediction."""
+    report = VerificationReport()
+    reference = execute(
+        lower(original), max_instructions=max_instructions
+    )
+    if not reference.halted:
+        report.fail("original did not halt within the instruction budget")
+        return report
+    expected = reference.memory_snapshot()
+
+    program = lower(transformed)
+    rng = random.Random(seed)
+    chosen = [always_taken, always_not_taken,
+              lambda _bid: rng.random() < 0.5][:policies]
+    for index, policy in enumerate(chosen):
+        result = execute(
+            program, predict_policy=policy, max_instructions=max_instructions
+        )
+        if not result.halted:
+            report.fail(f"policy {index}: transformed did not halt")
+            continue
+        if result.memory_snapshot() != expected:
+            report.fail(f"policy {index}: architectural memory differs")
+    return report
+
+
+def verify(
+    original: Function, transformed: Function
+) -> VerificationReport:
+    """Full verification: structural invariants + differential execution."""
+    report = verify_function(transformed)
+    if report.ok:
+        diff = verify_equivalence(original, transformed)
+        report.errors.extend(diff.errors)
+    return report

@@ -1,0 +1,21 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+* :mod:`.table2`        -- Table 2 (per-benchmark metrics, 4-wide).
+* :mod:`.speedups`      -- Figures 8-13 (suite speedup charts, 2/4/8-wide).
+* :mod:`.pred_vs_bias`  -- Figures 2-3 (predictability vs bias curves).
+* :mod:`.sensitivity`   -- Section 5.3 (predictor ladder).
+* :mod:`.side_effects`  -- Figure 14 and Section 6.1.
+* :mod:`.taxonomy`      -- Figure 1 (quadrant census).
+* :mod:`.motivation`    -- Section 1 (in-order vs out-of-order premise).
+* :mod:`.quadrants`     -- Figure 1 prescriptions validated empirically.
+* :mod:`.ablations`     -- design-choice sweeps.
+"""
+
+from .harness import BenchmarkOutcome, RunConfig, run_benchmark, run_suite
+
+__all__ = [
+    "BenchmarkOutcome",
+    "RunConfig",
+    "run_benchmark",
+    "run_suite",
+]

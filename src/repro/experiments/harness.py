@@ -1,0 +1,117 @@
+"""Shared experiment harness.
+
+Follows the paper's methodology: profile on a TRAIN input (seed 0), select
+and transform with that profile, then evaluate on REF inputs (seeds >= 1),
+reporting per-benchmark speedups averaged over all REF inputs and for the
+best-performing input (Figures 8-13 report both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import BenchmarkMetrics, geomean_speedup, speedup_percent
+from ..compiler import compile_baseline, compile_decomposed, profile_program
+from ..core import SelectionConfig, TransformConfig
+from ..ir import lower
+from ..uarch import InOrderCore, MachineConfig
+from ..workloads import spec_benchmark, suite_benchmarks
+
+
+@dataclass
+class RunConfig:
+    """How much simulation an experiment buys."""
+
+    iterations: int = 600
+    train_seed: int = 0
+    ref_seeds: Tuple[int, ...] = (1, 2)
+    widths: Tuple[int, ...] = (4,)
+    max_instructions: int = 2_000_000
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    transform: TransformConfig = field(default_factory=TransformConfig)
+    machine: Optional[MachineConfig] = None
+
+    @classmethod
+    def quick(cls) -> "RunConfig":
+        """Small enough for CI/benchmark loops; same code paths."""
+        return cls(iterations=250, ref_seeds=(1,))
+
+    def machine_for(self, width: int) -> MachineConfig:
+        if self.machine is not None:
+            return self.machine
+        return MachineConfig.paper_default(width=width)
+
+
+@dataclass
+class BenchmarkOutcome:
+    """Everything measured for one benchmark under one RunConfig."""
+
+    name: str
+    #: speedups[width][seed] -> % speedup of decomposed over baseline.
+    speedups: Dict[int, Dict[int, float]]
+    metrics: BenchmarkMetrics
+    converted: int
+    forward_branches: int
+
+    def mean_speedup(self, width: int) -> float:
+        per_seed = self.speedups[width]
+        return geomean_speedup(list(per_seed.values()))
+
+    def best_input_speedup(self, width: int) -> float:
+        return max(self.speedups[width].values())
+
+
+def run_benchmark(name: str, config: RunConfig) -> BenchmarkOutcome:
+    """Profile on TRAIN, compile once per REF input, simulate all widths."""
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train_func = spec.build(seed=config.train_seed)
+    profile = profile_program(
+        lower(train_func), max_instructions=config.max_instructions
+    )
+
+    speedups: Dict[int, Dict[int, float]] = {w: {} for w in config.widths}
+    metrics: Optional[BenchmarkMetrics] = None
+    converted = 0
+    forward = 0
+
+    for seed in config.ref_seeds:
+        ref_func = spec.build(seed=seed)
+        baseline = compile_baseline(ref_func, profile=profile)
+        decomposed = compile_decomposed(
+            ref_func,
+            profile=profile,
+            selection_config=config.selection,
+            transform_config=config.transform,
+        )
+        converted = decomposed.transform.converted
+        forward = decomposed.selection.forward_branches
+        for width in config.widths:
+            machine = config.machine_for(width)
+            base_run = InOrderCore(machine).run(
+                baseline.program, max_instructions=config.max_instructions
+            )
+            dec_run = InOrderCore(machine).run(
+                decomposed.program, max_instructions=config.max_instructions
+            )
+            speedups[width][seed] = speedup_percent(base_run, dec_run)
+            if metrics is None and width == max(config.widths):
+                metrics = BenchmarkMetrics.from_runs(
+                    name, baseline, decomposed, base_run, dec_run
+                )
+
+    assert metrics is not None
+    # Table 2's SPD column is the geomean over all REF inputs at 4-wide.
+    table_width = 4 if 4 in config.widths else max(config.widths)
+    metrics.spd = geomean_speedup(list(speedups[table_width].values()))
+    return BenchmarkOutcome(
+        name=name,
+        speedups=speedups,
+        metrics=metrics,
+        converted=converted,
+        forward_branches=forward,
+    )
+
+
+def run_suite(suite: str, config: RunConfig) -> List[BenchmarkOutcome]:
+    return [run_benchmark(name, config) for name in suite_benchmarks(suite)]

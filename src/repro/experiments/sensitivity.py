@@ -1,0 +1,151 @@
+"""Section 5.3: branch-predictor sensitivity.
+
+The paper simulates "a series of ever improving conditional branch
+predictors, culminating in a 64-KB version of ISL-TAGE" and finds that on
+the four hard-to-predict integer benchmarks (astar, sjeng, gobmk, mcf) the
+speedup from the transformation *improves* roughly 0.3% for each 1%
+reduction in misprediction rate.
+
+We run the same ladder (bimodal -> gshare -> hybrid -> TAGE -> ISL-TAGE)
+and report, per benchmark and predictor: the baseline misprediction rate
+and the decomposed-over-baseline speedup, plus the fitted
+speedup-per-accuracy slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..analysis import render_table, speedup_percent
+from ..branchpred import (
+    BimodalPredictor,
+    DirectionPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    IslTagePredictor,
+    TagePredictor,
+)
+from ..compiler import compile_baseline, compile_decomposed, profile_program
+from ..ir import lower
+from ..uarch import InOrderCore, MachineConfig
+from ..workloads import spec_benchmark
+from .harness import RunConfig
+
+#: The hard-to-predict benchmarks the paper calls out.
+HARD_BENCHMARKS = ("astar", "sjeng", "gobmk", "mcf")
+
+#: The predictor ladder, weakest to strongest.
+LADDER: Tuple[Tuple[str, Callable[[], DirectionPredictor]], ...] = (
+    ("bimodal", BimodalPredictor),
+    ("gshare", GSharePredictor),
+    ("hybrid-24KB", HybridPredictor),
+    ("tage", TagePredictor),
+    ("isl-tage-64KB", IslTagePredictor),
+)
+
+
+@dataclass
+class SensitivityPoint:
+    benchmark: str
+    predictor: str
+    mispredict_rate: float  # baseline, %
+    speedup: float  # decomposed over baseline with the same predictor, %
+
+
+@dataclass
+class SensitivityResult:
+    points: List[SensitivityPoint]
+
+    def slope(self, benchmark: str) -> float:
+        """Least-squares % speedup gained per 1% mispredict-rate drop."""
+        series = [
+            (p.mispredict_rate, p.speedup)
+            for p in self.points
+            if p.benchmark == benchmark
+        ]
+        if len(series) < 2:
+            return 0.0
+        xs = [-x for x, _ in series]  # accuracy improvement axis
+        ys = [y for _, y in series]
+        n = len(series)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var = sum((x - mean_x) ** 2 for x in xs)
+        return cov / var if var else 0.0
+
+    def render(self) -> str:
+        rows = [
+            [p.benchmark, p.predictor, f"{p.mispredict_rate:.2f}",
+             f"{p.speedup:.2f}"]
+            for p in self.points
+        ]
+        table = render_table(
+            ["benchmark", "predictor", "mispredict%", "speedup%"],
+            rows,
+            title="Section 5.3: predictor sensitivity "
+            "(paper: ~0.3% speedup per 1% mispredict reduction)",
+        )
+        slopes = [
+            [name, f"{self.slope(name):.3f}"]
+            for name in sorted({p.benchmark for p in self.points})
+        ]
+        return (
+            table
+            + "\n\n"
+            + render_table(["benchmark", "%speedup per 1% accuracy"], slopes)
+        )
+
+
+def run(
+    benchmarks: Tuple[str, ...] = HARD_BENCHMARKS,
+    config: Optional[RunConfig] = None,
+) -> SensitivityResult:
+    config = config or RunConfig()
+    points: List[SensitivityPoint] = []
+    for name in benchmarks:
+        spec = spec_benchmark(name, iterations=config.iterations)
+        train = spec.build(seed=config.train_seed)
+        ref = spec.build(seed=config.ref_seeds[0])
+        for pred_name, factory in LADDER:
+            # Profile/select with the same predictor the hardware runs:
+            # better predictors expose more candidates, as in the paper.
+            profile = profile_program(
+                lower(train),
+                predictor_factory=factory,
+                max_instructions=config.max_instructions,
+            )
+            baseline = compile_baseline(ref, profile=profile)
+            decomposed = compile_decomposed(
+                ref,
+                profile=profile,
+                selection_config=config.selection,
+                transform_config=config.transform,
+            )
+            machine = MachineConfig.paper_default().with_predictor(factory)
+            base_run = InOrderCore(machine).run(
+                baseline.program, max_instructions=config.max_instructions
+            )
+            dec_run = InOrderCore(machine).run(
+                decomposed.program, max_instructions=config.max_instructions
+            )
+            total = base_run.stats.cond_branches or 1
+            rate = 100.0 * base_run.stats.cond_mispredicts / total
+            points.append(
+                SensitivityPoint(
+                    benchmark=name,
+                    predictor=pred_name,
+                    mispredict_rate=rate,
+                    speedup=speedup_percent(base_run, dec_run),
+                )
+            )
+    return SensitivityResult(points=points)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

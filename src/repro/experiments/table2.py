@@ -1,0 +1,57 @@
+"""Regenerate the paper's Table 2: per-benchmark SPEC 2006 metrics, sorted
+by speedup, 4-wide configuration."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis import TABLE2_HEADER, render_table
+from ..workloads import BENCHMARKS
+from .harness import BenchmarkOutcome, RunConfig, run_suite
+
+
+def run(config: Optional[RunConfig] = None) -> List[BenchmarkOutcome]:
+    """All SPEC 2006 benchmarks (INT then FP), sorted by measured SPD
+    within each half, matching the published table's layout."""
+    config = config or RunConfig()
+    outcomes = []
+    for suite in ("int2006", "fp2006"):
+        part = run_suite(suite, config)
+        part.sort(key=lambda o: -o.metrics.spd)
+        outcomes.extend(part)
+    return outcomes
+
+
+def render(outcomes: List[BenchmarkOutcome]) -> str:
+    rows = [o.metrics.row() for o in outcomes]
+    measured = render_table(
+        TABLE2_HEADER, rows, title="Table 2 (measured, this reproduction)"
+    )
+    paper_rows = []
+    for o in outcomes:
+        row = BENCHMARKS[o.name].paper
+        paper_rows.append(
+            [
+                o.name,
+                f"{row.spd:.1f}",
+                f"{row.pbc:.1f}",
+                f"{row.pdih:.1f}",
+                f"{row.alpbb:.1f}",
+                f"{row.aspcb:.1f}",
+                f"{row.phi:.1f}",
+                f"{row.mppki:.1f}",
+                f"{row.piscs:.1f}",
+            ]
+        )
+    published = render_table(
+        TABLE2_HEADER, paper_rows, title="Table 2 (published)"
+    )
+    return measured + "\n\n" + published
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

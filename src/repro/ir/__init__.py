@@ -1,0 +1,52 @@
+"""Compiler intermediate representation: blocks, functions, CFG analyses,
+liveness, dependence graphs, builders, and lowering to ISA programs."""
+
+from .basic_block import BasicBlock, IRError
+from .builder import BlockBuilder, FunctionBuilder
+from .cfg import (
+    back_edges,
+    conditional_branch_blocks,
+    dominators,
+    is_forward_branch,
+    predecessor_map,
+    reachable_blocks,
+    successor_map,
+)
+from .depgraph import DepGraph, available_above, build as build_depgraph
+from .function import Function
+from .liveness import (
+    LivenessResult,
+    analyze as analyze_liveness,
+    block_use_def,
+    defs,
+    registers_referenced,
+    registers_written,
+    uses,
+)
+from .lower import lower
+
+__all__ = [
+    "BasicBlock",
+    "BlockBuilder",
+    "DepGraph",
+    "Function",
+    "FunctionBuilder",
+    "IRError",
+    "LivenessResult",
+    "analyze_liveness",
+    "available_above",
+    "back_edges",
+    "block_use_def",
+    "build_depgraph",
+    "conditional_branch_blocks",
+    "defs",
+    "dominators",
+    "is_forward_branch",
+    "lower",
+    "predecessor_map",
+    "reachable_blocks",
+    "registers_referenced",
+    "registers_written",
+    "successor_map",
+    "uses",
+]

@@ -1,0 +1,90 @@
+"""Basic blocks for the compiler IR.
+
+IR instructions are :class:`repro.isa.Instruction` objects whose control-flow
+``target`` fields are *label names* (block names); lowering resolves them to
+PCs.  A block separates its straight-line ``body`` from its ``terminator``
+and records its fall-through successor explicitly, which keeps the
+Decomposed Branch Transformation's block surgery simple and checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..isa import Instruction, Opcode
+
+
+class IRError(Exception):
+    """Raised on malformed IR."""
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line region with one optional terminator.
+
+    Successor semantics:
+
+    * no terminator            -> fall through to ``fallthrough``
+    * JMP                      -> ``terminator.target`` only
+    * BNZ / BZ                 -> taken: ``terminator.target``,
+                                  not-taken: ``fallthrough``
+    * PREDICT                  -> predicted-taken path: ``terminator.target``,
+                                  predicted-not-taken path: ``fallthrough``
+    * RESOLVE_NZ / RESOLVE_Z   -> divert: ``terminator.target``,
+                                  confirm: ``fallthrough``
+    * HALT / RET               -> no successors
+    """
+
+    name: str
+    body: List[Instruction] = field(default_factory=list)
+    terminator: Optional[Instruction] = None
+    fallthrough: Optional[str] = None
+
+    def append(self, inst: Instruction) -> None:
+        if inst.is_terminator:
+            raise IRError(
+                f"terminator {inst.opcode.name} appended to body of {self.name}"
+            )
+        self.body.append(inst)
+
+    def set_terminator(
+        self, inst: Optional[Instruction], fallthrough: Optional[str] = None
+    ) -> None:
+        if inst is not None and not inst.is_terminator:
+            raise IRError(f"{inst.opcode.name} cannot terminate {self.name}")
+        self.terminator = inst
+        if fallthrough is not None:
+            self.fallthrough = fallthrough
+
+    def successors(self) -> List[str]:
+        """Successor block names in (taken, fallthrough) order."""
+        term = self.terminator
+        if term is None:
+            return [self.fallthrough] if self.fallthrough else []
+        if term.opcode in (Opcode.HALT, Opcode.RET):
+            return []
+        if term.opcode in (Opcode.JMP, Opcode.CALL):
+            succs = [term.target] if isinstance(term.target, str) else []
+            if term.opcode is Opcode.CALL and self.fallthrough:
+                # Interprocedural edge is the call target; the return
+                # continues at the fall-through.
+                succs.append(self.fallthrough)
+            return succs
+        succs = []
+        if isinstance(term.target, str):
+            succs.append(term.target)
+        if self.fallthrough:
+            succs.append(self.fallthrough)
+        return succs
+
+    def instructions(self) -> Iterator[Instruction]:
+        yield from self.body
+        if self.terminator is not None:
+            yield self.terminator
+
+    def __len__(self) -> int:
+        return len(self.body) + (1 if self.terminator is not None else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.name!r}, {len(self)} insts)"

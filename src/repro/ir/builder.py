@@ -1,0 +1,254 @@
+"""Fluent builders for constructing IR functions.
+
+Used by the workload generator, the Figure-6 kernel, the examples, and the
+tests.  Each emit method appends one instruction to the current block and
+returns it, so callers can inspect or annotate what they emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from ..isa import Instruction, Opcode
+from .basic_block import BasicBlock
+from .function import Function
+
+Value = Union[int, float]
+
+
+class BlockBuilder:
+    """Appends instructions to one basic block."""
+
+    def __init__(self, function: Function, block: BasicBlock) -> None:
+        self._function = function
+        self.block = block
+
+    # -- straight-line emission -----------------------------------------
+
+    def _emit(self, **kwargs) -> Instruction:
+        inst = Instruction(**kwargs)
+        self.block.append(inst)
+        return inst
+
+    def li(self, dest: int, value: Value) -> Instruction:
+        return self._emit(opcode=Opcode.LI, dest=dest, imm=value)
+
+    def mov(self, dest: int, src: int) -> Instruction:
+        return self._emit(opcode=Opcode.MOV, dest=dest, srcs=(src,))
+
+    def _binop(
+        self, opcode: Opcode, dest: int, a: int, b: Optional[int], imm
+    ) -> Instruction:
+        srcs: Tuple[int, ...] = (a,) if b is None else (a, b)
+        return self._emit(opcode=opcode, dest=dest, srcs=srcs, imm=imm)
+
+    def add(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.ADD, dest, a, b, imm)
+
+    def sub(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.SUB, dest, a, b, imm)
+
+    def mul(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.MUL, dest, a, b, imm)
+
+    def div(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.DIV, dest, a, b, imm)
+
+    def and_(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.AND, dest, a, b, imm)
+
+    def or_(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.OR, dest, a, b, imm)
+
+    def xor(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.XOR, dest, a, b, imm)
+
+    def shl(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.SHL, dest, a, b, imm)
+
+    def shr(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.SHR, dest, a, b, imm)
+
+    def fadd(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.FADD, dest, a, b, imm)
+
+    def fsub(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.FSUB, dest, a, b, imm)
+
+    def fmul(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.FMUL, dest, a, b, imm)
+
+    def fdiv(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.FDIV, dest, a, b, imm)
+
+    def cmp_eq(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.CMP_EQ, dest, a, b, imm)
+
+    def cmp_ne(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.CMP_NE, dest, a, b, imm)
+
+    def cmp_lt(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.CMP_LT, dest, a, b, imm)
+
+    def cmp_le(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.CMP_LE, dest, a, b, imm)
+
+    def cmp_gt(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.CMP_GT, dest, a, b, imm)
+
+    def cmp_ge(self, dest, a, b=None, imm=None):
+        return self._binop(Opcode.CMP_GE, dest, a, b, imm)
+
+    def load(
+        self, dest: int, base: int, offset: int = 0, speculative: bool = False
+    ) -> Instruction:
+        return self._emit(
+            opcode=Opcode.LOAD,
+            dest=dest,
+            srcs=(base,),
+            imm=offset,
+            speculative=speculative,
+        )
+
+    def store(self, src: int, base: int, offset: int = 0) -> Instruction:
+        return self._emit(opcode=Opcode.STORE, srcs=(src, base), imm=offset)
+
+    def sel(self, dest: int, cond: int, if_true: int, if_false: int) -> Instruction:
+        return self._emit(
+            opcode=Opcode.SEL, dest=dest, srcs=(cond, if_true, if_false)
+        )
+
+    def nop(self) -> Instruction:
+        return self._emit(opcode=Opcode.NOP)
+
+    # -- terminators -----------------------------------------------------
+
+    def _terminate(self, inst: Instruction, fallthrough: Optional[str]) -> Instruction:
+        self.block.set_terminator(inst, fallthrough)
+        return inst
+
+    def bnz(
+        self,
+        cond: int,
+        target: str,
+        fallthrough: str,
+        branch_id: Optional[int] = None,
+    ) -> Instruction:
+        return self._terminate(
+            Instruction(
+                opcode=Opcode.BNZ,
+                srcs=(cond,),
+                target=target,
+                branch_id=branch_id,
+            ),
+            fallthrough,
+        )
+
+    def bz(
+        self,
+        cond: int,
+        target: str,
+        fallthrough: str,
+        branch_id: Optional[int] = None,
+    ) -> Instruction:
+        return self._terminate(
+            Instruction(
+                opcode=Opcode.BZ,
+                srcs=(cond,),
+                target=target,
+                branch_id=branch_id,
+            ),
+            fallthrough,
+        )
+
+    def jmp(self, target: str) -> Instruction:
+        return self._terminate(
+            Instruction(opcode=Opcode.JMP, target=target), None
+        )
+
+    def halt(self) -> Instruction:
+        return self._terminate(Instruction(opcode=Opcode.HALT), None)
+
+    def ret(self, link: int) -> Instruction:
+        return self._terminate(
+            Instruction(opcode=Opcode.RET, srcs=(link,)), None
+        )
+
+    def call(self, target: str, link: int, fallthrough: str) -> Instruction:
+        return self._terminate(
+            Instruction(opcode=Opcode.CALL, dest=link, target=target),
+            fallthrough,
+        )
+
+    def predict(
+        self, target: str, fallthrough: str, branch_id: int
+    ) -> Instruction:
+        return self._terminate(
+            Instruction(
+                opcode=Opcode.PREDICT, target=target, branch_id=branch_id
+            ),
+            fallthrough,
+        )
+
+    def resolve_nz(
+        self,
+        cond: int,
+        target: str,
+        fallthrough: str,
+        branch_id: int,
+        predicted_dir: bool,
+    ) -> Instruction:
+        return self._terminate(
+            Instruction(
+                opcode=Opcode.RESOLVE_NZ,
+                srcs=(cond,),
+                target=target,
+                branch_id=branch_id,
+                predicted_dir=predicted_dir,
+            ),
+            fallthrough,
+        )
+
+    def resolve_z(
+        self,
+        cond: int,
+        target: str,
+        fallthrough: str,
+        branch_id: int,
+        predicted_dir: bool,
+    ) -> Instruction:
+        return self._terminate(
+            Instruction(
+                opcode=Opcode.RESOLVE_Z,
+                srcs=(cond,),
+                target=target,
+                branch_id=branch_id,
+                predicted_dir=predicted_dir,
+            ),
+            fallthrough,
+        )
+
+
+class FunctionBuilder:
+    """Builds a :class:`Function` block by block, in layout order."""
+
+    def __init__(self, name: str) -> None:
+        self.function = Function(name=name)
+        self._next_branch_id = 0
+
+    def block(self, name: str) -> BlockBuilder:
+        block = self.function.add_block(BasicBlock(name=name))
+        return BlockBuilder(self.function, block)
+
+    def data(self, base: int, values) -> None:
+        for offset, value in enumerate(values):
+            self.function.data[base + offset] = value
+
+    def fresh_branch_id(self) -> int:
+        branch_id = self._next_branch_id
+        self._next_branch_id += 1
+        return branch_id
+
+    def build(self) -> Function:
+        self.function.validate()
+        return self.function

@@ -1,0 +1,112 @@
+"""Control-flow-graph analyses over :class:`repro.ir.Function`.
+
+Provides predecessor maps, reachability, back-edge (loop) detection, and
+the forward-branch test the paper's selection heuristic needs (footnote 1:
+backward/loop branches are excluded; they are handled by loop techniques
+such as modulo scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .basic_block import BasicBlock
+from .function import Function
+
+
+def successor_map(func: Function) -> Dict[str, List[str]]:
+    return {name: block.successors() for name, block in func.blocks.items()}
+
+
+def predecessor_map(func: Function) -> Dict[str, List[str]]:
+    preds: Dict[str, List[str]] = {name: [] for name in func.blocks}
+    for name, block in func.blocks.items():
+        for succ in block.successors():
+            preds[succ].append(name)
+    return preds
+
+
+def reachable_blocks(func: Function) -> Set[str]:
+    """Blocks reachable from the entry."""
+    seen: Set[str] = set()
+    stack = [func.entry.name]
+    succs = successor_map(func)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(succs[name])
+    return seen
+
+
+def back_edges(func: Function) -> Set[Tuple[str, str]]:
+    """(source, destination) pairs that close loops, via DFS colouring."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in func.blocks}
+    edges: Set[Tuple[str, str]] = set()
+    succs = successor_map(func)
+
+    # Iterative DFS with explicit post-visit events to avoid recursion
+    # limits on large synthetic CFGs.
+    stack: List[Tuple[str, bool]] = [(func.entry.name, False)]
+    while stack:
+        name, post = stack.pop()
+        if post:
+            colour[name] = BLACK
+            continue
+        if colour[name] != WHITE:
+            continue
+        colour[name] = GREY
+        stack.append((name, True))
+        for succ in succs[name]:
+            if colour[succ] == GREY:
+                edges.add((name, succ))
+            elif colour[succ] == WHITE:
+                stack.append((succ, False))
+    return edges
+
+
+def is_forward_branch(func: Function, block: BasicBlock) -> bool:
+    """True when ``block`` ends in a conditional branch whose taken target
+    lies later in layout order (a forward, non-loop branch)."""
+    term = block.terminator
+    if term is None or not term.is_cond_branch:
+        return False
+    if not isinstance(term.target, str):
+        return False
+    return func.layout_index(term.target) > func.layout_index(block.name)
+
+
+def conditional_branch_blocks(func: Function) -> List[str]:
+    """Names of blocks terminated by an ordinary conditional branch."""
+    return [
+        name
+        for name, block in func.blocks.items()
+        if block.terminator is not None and block.terminator.is_cond_branch
+    ]
+
+
+def dominators(func: Function) -> Dict[str, Set[str]]:
+    """Classic iterative dominator sets (small CFGs; clarity over speed)."""
+    names = [n for n in func.layout() if n in reachable_blocks(func)]
+    preds = predecessor_map(func)
+    entry = func.entry.name
+    all_names = set(names)
+    dom: Dict[str, Set[str]] = {name: set(all_names) for name in names}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name == entry:
+                continue
+            pred_doms = [
+                dom[p] for p in preds[name] if p in dom
+            ]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(name)
+            if new != dom[name]:
+                dom[name] = new
+                changed = True
+    return dom

@@ -1,0 +1,151 @@
+"""Intra-block dependence DAG.
+
+Used by the list scheduler (to reorder independent work, especially to issue
+loads early) and by the transformation's hoisting legality check (an
+instruction is hoistable only when every value it reads is available above
+the resolution point).
+
+Memory discipline is conservative and simple:
+
+* loads may reorder freely with other loads,
+* a store orders against every earlier memory operation and every later one
+  (it is a full memory barrier within the block).
+
+This matches the paper's compilation model: data speculation past
+may-aliasing stores is *possible* on the substrate (Section 2.2, item 2) but
+the transformation as described does not move loads above stores, and
+neither do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..isa import Instruction
+
+
+@dataclass
+class DepGraph:
+    """Dependences among ``insts``; edge u -> v means v depends on u."""
+
+    insts: Sequence[Instruction]
+    succs: Dict[int, Set[int]] = field(default_factory=dict)
+    preds: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if src == dst:
+            return
+        self.succs.setdefault(src, set()).add(dst)
+        self.preds.setdefault(dst, set()).add(src)
+
+    def predecessors(self, index: int) -> Set[int]:
+        return self.preds.get(index, set())
+
+    def successors(self, index: int) -> Set[int]:
+        return self.succs.get(index, set())
+
+    def roots(self) -> List[int]:
+        return [i for i in range(len(self.insts)) if not self.preds.get(i)]
+
+    def critical_path_lengths(self) -> List[int]:
+        """Latency-weighted longest path from each node to any sink."""
+        n = len(self.insts)
+        length = [0] * n
+        for i in range(n - 1, -1, -1):
+            best = 0
+            for succ in self.succs.get(i, ()):
+                best = max(best, length[succ])
+            length[i] = self.insts[i].latency + best
+        return length
+
+
+def build(insts: Sequence[Instruction]) -> DepGraph:
+    """Construct the dependence DAG for one straight-line sequence."""
+    graph = DepGraph(insts=insts)
+    last_def: Dict[int, int] = {}
+    readers_since_def: Dict[int, List[int]] = {}
+    last_store: Optional[int] = None
+    mem_ops_since_store: List[int] = []
+
+    for i, inst in enumerate(insts):
+        # Register dependences.
+        for reg in inst.srcs:
+            if reg in last_def:
+                graph.add_edge(last_def[reg], i)  # RAW
+        if inst.dest is not None:
+            reg = inst.dest
+            if reg in last_def:
+                graph.add_edge(last_def[reg], i)  # WAW
+            for reader in readers_since_def.get(reg, ()):
+                graph.add_edge(reader, i)  # WAR
+            last_def[reg] = i
+            readers_since_def[reg] = []
+        for reg in inst.srcs:
+            readers_since_def.setdefault(reg, []).append(i)
+
+        # Memory dependences.
+        if inst.is_store:
+            for prior in mem_ops_since_store:
+                graph.add_edge(prior, i)
+            if last_store is not None:
+                graph.add_edge(last_store, i)
+            last_store = i
+            mem_ops_since_store = []
+        elif inst.is_load:
+            if last_store is not None:
+                graph.add_edge(last_store, i)
+            mem_ops_since_store.append(i)
+
+    return graph
+
+
+def available_above(
+    insts: Sequence[Instruction], defined_above: Set[int]
+) -> List[int]:
+    """Indices of a maximal *prefix-closed* hoistable set.
+
+    The hoisted set executes (in original relative order) *before* the
+    instructions left behind, so membership must respect every dependence
+    against skipped instructions:
+
+    * every register an instruction reads is defined above the block
+      (``defined_above``) or produced by an already-hoistable instruction,
+      and is not written by a skipped instruction (RAW);
+    * its destination is not read or written by any skipped instruction
+      (WAR / WAW against the left-behind portion);
+    * it lies in the block's *upper portion*: the first store ends the
+      hoistable region entirely (the paper's Fig. 5c splits each
+      successor into an upper hoistable portion and a lower portion, and
+      stores are never speculated -- Section 3 pushes them *below* the
+      resolution point).
+    """
+    hoistable: List[int] = []
+    produced: Set[int] = set()
+    skipped_reads: Set[int] = set()
+    skipped_writes: Set[int] = set()
+
+    def skip(inst: Instruction) -> None:
+        skipped_reads.update(inst.srcs)
+        if inst.dest is not None:
+            skipped_writes.add(inst.dest)
+
+    for i, inst in enumerate(insts):
+        if inst.is_store:
+            break  # end of the upper portion
+        reads_ok = all(
+            (reg in defined_above or reg in produced)
+            and reg not in skipped_writes
+            for reg in inst.srcs
+        )
+        dest_ok = (
+            inst.dest is None
+            or (inst.dest not in skipped_reads and inst.dest not in skipped_writes)
+        )
+        if reads_ok and dest_ok:
+            hoistable.append(i)
+            if inst.dest is not None:
+                produced.add(inst.dest)
+        else:
+            skip(inst)
+    return hoistable

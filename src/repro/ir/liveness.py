@@ -1,0 +1,94 @@
+"""Register liveness analysis.
+
+The Decomposed Branch Transformation needs live-in sets for successor and
+correction blocks to decide when a hoisted instruction's destination must be
+renamed to a speculation temporary (Section 3: "we may need to write to
+temporary registers in the speculative portions to prevent the clobbering of
+live-in values for the alternate path").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from ..isa import Instruction
+from .cfg import predecessor_map, successor_map
+from .function import Function
+
+
+def uses(inst: Instruction) -> FrozenSet[int]:
+    return frozenset(inst.srcs)
+
+
+def defs(inst: Instruction) -> FrozenSet[int]:
+    return frozenset() if inst.dest is None else frozenset({inst.dest})
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Per-block live-in / live-out register sets."""
+
+    live_in: Dict[str, FrozenSet[int]]
+    live_out: Dict[str, FrozenSet[int]]
+
+
+def block_use_def(block_insts: List[Instruction]) -> "tuple[Set[int], Set[int]]":
+    """(upward-exposed uses, defs) for a straight-line sequence."""
+    used: Set[int] = set()
+    defined: Set[int] = set()
+    for inst in block_insts:
+        for reg in uses(inst):
+            if reg not in defined:
+                used.add(reg)
+        defined |= defs(inst)
+    return used, defined
+
+
+def analyze(func: Function) -> LivenessResult:
+    """Iterative backward liveness to a fixed point."""
+    succs = successor_map(func)
+    use_map: Dict[str, Set[int]] = {}
+    def_map: Dict[str, Set[int]] = {}
+    for name, block in func.blocks.items():
+        used, defined = block_use_def(list(block.instructions()))
+        use_map[name] = used
+        def_map[name] = defined
+
+    live_in: Dict[str, Set[int]] = {name: set() for name in func.blocks}
+    live_out: Dict[str, Set[int]] = {name: set() for name in func.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in reversed(func.layout()):
+            out: Set[int] = set()
+            for succ in succs[name]:
+                out |= live_in[succ]
+            new_in = use_map[name] | (out - def_map[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+
+    return LivenessResult(
+        live_in={k: frozenset(v) for k, v in live_in.items()},
+        live_out={k: frozenset(v) for k, v in live_out.items()},
+    )
+
+
+def registers_written(func: Function) -> Set[int]:
+    """Every register defined anywhere in the function."""
+    written: Set[int] = set()
+    for inst in func.instructions():
+        written |= defs(inst)
+    return written
+
+
+def registers_referenced(func: Function) -> Set[int]:
+    """Every register read or written anywhere in the function."""
+    refs: Set[int] = set()
+    for inst in func.instructions():
+        refs |= defs(inst)
+        refs |= uses(inst)
+    return refs

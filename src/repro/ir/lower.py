@@ -1,0 +1,49 @@
+"""Lowering: IR function -> executable :class:`repro.isa.Program`.
+
+Blocks are emitted in layout order.  A fall-through edge to a non-adjacent
+block materialises as an explicit JMP, so the transformation may link blocks
+freely without worrying about placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa import Instruction, Opcode, Program, assemble
+from .basic_block import IRError
+from .function import Function
+
+
+def lower(func: Function, validate: bool = True) -> Program:
+    """Lower ``func`` into a program with resolved branch targets."""
+    if validate:
+        func.validate()
+
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    layout = func.layout()
+    next_block = {
+        layout[i]: layout[i + 1] if i + 1 < len(layout) else None
+        for i in range(len(layout))
+    }
+
+    for name in layout:
+        block = func.blocks[name]
+        labels[name] = len(instructions)
+        instructions.extend(block.body)
+        term = block.terminator
+        if term is not None:
+            instructions.append(term)
+        if term is not None and term.opcode in (Opcode.HALT, Opcode.RET, Opcode.JMP):
+            continue
+        fallthrough = block.fallthrough
+        if fallthrough is None:
+            if term is None:
+                raise IRError(f"block {name} falls off the end of {func.name}")
+            continue
+        if fallthrough != next_block[name]:
+            instructions.append(
+                Instruction(opcode=Opcode.JMP, target=fallthrough)
+            )
+
+    return assemble(instructions, labels, data=func.data, name=func.name)

@@ -1,0 +1,238 @@
+"""Textual assembly: print and parse programs.
+
+A small, line-oriented format so programs can be saved, diffed, and
+hand-edited -- the artifact a DBT vendor's tooling would dump when
+debugging the translator.  Round-trips everything the ISA expresses,
+including the decomposed-branch annotations::
+
+    # directives
+    .data 4096 7            ; one word of the data segment
+    label:
+        add r1, r2, #5
+        load+ r3, [r4+16]    ; '+' = non-faulting (speculative)
+        predict taken_path, b3
+        resolve_nz r5, fixup, b3, pT
+
+Grammar notes: destinations and sources are ``rN``; immediates are
+``#value``; loads/stores use ``[rBASE+OFFSET]``; ``bN`` is a branch id;
+``pT``/``pNT`` is a resolve's predicted direction; a trailing ``!`` marks
+a hoisted instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .instructions import Instruction, Opcode
+from .program import Program, assemble
+
+Value = Union[int, float]
+
+
+class AsmSyntaxError(Exception):
+    """Raised on malformed assembly text."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+# ---------------------------------------------------------------- printing
+
+
+def _format_operand_list(inst: Instruction) -> str:
+    parts: List[str] = []
+    if inst.opcode is Opcode.LOAD:
+        parts.append(f"r{inst.dest}")
+        parts.append(f"[r{inst.srcs[0]}+{inst.imm or 0}]")
+    elif inst.opcode is Opcode.STORE:
+        parts.append(f"r{inst.srcs[0]}")
+        parts.append(f"[r{inst.srcs[1]}+{inst.imm or 0}]")
+    else:
+        if inst.dest is not None:
+            parts.append(f"r{inst.dest}")
+        parts.extend(f"r{src}" for src in inst.srcs)
+        if inst.imm is not None:
+            parts.append(f"#{inst.imm}")
+    if inst.target is not None:
+        parts.append(str(inst.target))
+    if inst.branch_id is not None:
+        parts.append(f"b{inst.branch_id}")
+    if inst.predicted_dir is not None:
+        parts.append("pT" if inst.predicted_dir else "pNT")
+    return ", ".join(parts)
+
+
+def program_to_text(program: Program) -> str:
+    """Serialise ``program`` (labels, code, data) to assembly text."""
+    lines: List[str] = [f"; program: {program.name}"]
+    for address in sorted(program.data):
+        lines.append(f".data {address} {program.data[address]}")
+    labels_at: Dict[int, List[str]] = {}
+    for name, pc in program.labels.items():
+        labels_at.setdefault(pc, []).append(name)
+    for pc, inst in enumerate(program.instructions):
+        for name in sorted(labels_at.get(pc, [])):
+            lines.append(f"{name}:")
+        mnemonic = inst.opcode.name.lower()
+        if inst.is_load and inst.speculative:
+            mnemonic += "+"
+        suffix = " !" if inst.hoisted else ""
+        operands = _format_operand_list(inst)
+        body = f"    {mnemonic} {operands}".rstrip()
+        lines.append(body + suffix)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------- parsing
+
+_MNEMONICS = {op.name.lower(): op for op in Opcode}
+
+
+def _parse_operand(token: str, line_number: int):
+    token = token.strip()
+    if token.startswith("r") and token[1:].isdigit():
+        return ("reg", int(token[1:]))
+    if token.startswith("#"):
+        text = token[1:]
+        try:
+            return ("imm", float(text) if "." in text else int(text))
+        except ValueError:
+            raise AsmSyntaxError(line_number, f"bad immediate {token!r}")
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1]
+        if "+" in inner:
+            base_text, offset_text = inner.split("+", 1)
+        else:
+            base_text, offset_text = inner, "0"
+        if not (base_text.startswith("r") and base_text[1:].isdigit()):
+            raise AsmSyntaxError(line_number, f"bad address {token!r}")
+        try:
+            offset = int(offset_text)
+        except ValueError:
+            raise AsmSyntaxError(line_number, f"bad offset {token!r}")
+        return ("mem", (int(base_text[1:]), offset))
+    if token.startswith("b") and token[1:].isdigit():
+        return ("branch_id", int(token[1:]))
+    if token in ("pT", "pNT"):
+        return ("pdir", token == "pT")
+    return ("label", token)
+
+
+def _build_instruction(
+    opcode: Opcode,
+    operands,
+    speculative: bool,
+    hoisted: bool,
+    line_number: int,
+) -> Instruction:
+    dest: Optional[int] = None
+    srcs: List[int] = []
+    imm: Optional[Value] = None
+    target = None
+    branch_id = None
+    predicted_dir = None
+    mem: Optional[Tuple[int, int]] = None
+
+    for kind, value in operands:
+        if kind == "reg":
+            srcs.append(value)
+        elif kind == "imm":
+            imm = value
+        elif kind == "mem":
+            mem = value
+        elif kind == "branch_id":
+            branch_id = value
+        elif kind == "pdir":
+            predicted_dir = value
+        elif kind == "label":
+            target = value
+
+    if opcode is Opcode.LOAD:
+        if mem is None or len(srcs) != 1:
+            raise AsmSyntaxError(line_number, "load needs rD, [rB+OFF]")
+        return Instruction(
+            opcode=opcode, dest=srcs[0], srcs=(mem[0],), imm=mem[1],
+            speculative=speculative, hoisted=hoisted,
+        )
+    if opcode is Opcode.STORE:
+        if mem is None or len(srcs) != 1:
+            raise AsmSyntaxError(line_number, "store needs rV, [rB+OFF]")
+        return Instruction(
+            opcode=opcode, srcs=(srcs[0], mem[0]), imm=mem[1],
+            hoisted=hoisted,
+        )
+
+    writes_dest = opcode not in (
+        Opcode.BNZ, Opcode.BZ, Opcode.JMP, Opcode.RET,
+        Opcode.RESOLVE_NZ, Opcode.RESOLVE_Z, Opcode.PREDICT,
+        Opcode.NOP, Opcode.HALT, Opcode.STORE,
+    )
+    if writes_dest and srcs:
+        dest = srcs.pop(0)
+    return Instruction(
+        opcode=opcode, dest=dest, srcs=tuple(srcs), imm=imm, target=target,
+        branch_id=branch_id, predicted_dir=predicted_dir,
+        speculative=speculative, hoisted=hoisted,
+    )
+
+
+def text_to_program(text: str, name: str = "program") -> Program:
+    """Parse assembly text back into an executable :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    data: Dict[int, Value] = {}
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith(".data"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AsmSyntaxError(line_number, ".data needs ADDR VALUE")
+            value_text = parts[2]
+            value = (
+                float(value_text) if "." in value_text else int(value_text)
+            )
+            data[int(parts[1])] = value
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label:
+                raise AsmSyntaxError(line_number, "empty label")
+            if label in labels:
+                raise AsmSyntaxError(line_number, f"duplicate label {label}")
+            labels[label] = len(instructions)
+            continue
+
+        hoisted = line.endswith("!")
+        if hoisted:
+            line = line[:-1].rstrip()
+        mnemonic, _, rest = line.partition(" ")
+        speculative = mnemonic.endswith("+")
+        if speculative:
+            mnemonic = mnemonic[:-1]
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AsmSyntaxError(line_number, f"unknown mnemonic {mnemonic!r}")
+        operands = [
+            _parse_operand(token, line_number)
+            for token in rest.split(",")
+            if token.strip()
+        ]
+        instructions.append(
+            _build_instruction(opcode, operands, speculative, hoisted,
+                               line_number)
+        )
+
+    # Numeric labels in text form parse as "label" strings like "12"; keep
+    # direct integer targets working by converting digit-only labels that
+    # match no defined label.
+    fixed: List[Instruction] = []
+    for inst in instructions:
+        target = inst.target
+        if isinstance(target, str) and target.isdigit() and target not in labels:
+            inst = inst.with_target(int(target))
+        fixed.append(inst)
+    return assemble(fixed, labels, data=data, name=name)

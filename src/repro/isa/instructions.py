@@ -1,0 +1,286 @@
+"""Instruction set for the Branch Vanguard reproduction.
+
+The paper targets a hidden, vendor-private RISC/VLIW ISA reached through
+dynamic binary translation (Transmeta Crusoe / NVIDIA Project Denver style).
+We model a small load/store register ISA with the two instructions the paper
+adds (Section 2.1):
+
+* ``PREDICT`` -- opcode + target only.  The front end consults the branch
+  predictor when this instruction is fetched; if predicted taken, fetch
+  continues at the target.  The instruction then retires without occupying a
+  back-end slot (it is "dropped from the fetch buffer", Fig. 7a).
+* ``RESOLVE_*`` -- shaped like a conditional branch, always predicted
+  not-taken by the front end.  If the condition resolves contrary to the
+  direction chosen by the matching ``PREDICT``, control transfers to the
+  correction-code target.  Either way the predictor entries of the
+  ``PREDICT`` are updated through the Decomposed Branch Buffer.
+
+Everything else is a conventional RISC subset sufficient to express the
+paper's workloads: ALU / FP arithmetic, loads and stores (plus non-faulting
+speculative loads for hoisting, Section 2.2), compares that write a boolean
+register, conditional and unconditional branches, and call/return.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple, Union
+
+
+class FuClass(enum.Enum):
+    """Functional-unit class an instruction issues to (Table 1)."""
+
+    INT = "int"  # 2x INT / SIMD-permute ports
+    MEM = "mem"  # 2x LD/ST ports
+    FP = "fp"  # 4x 64-bit SIMD/FP ports
+    NONE = "none"  # consumed by the front end (PREDICT, NOP, HALT)
+
+
+class Opcode(enum.Enum):
+    """Every operation in the ISA."""
+
+    # Integer ALU.
+    ADD = enum.auto()
+    SUB = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    MOV = enum.auto()
+    LI = enum.auto()  # load immediate
+    #: Conditional select (the predication primitive, Fig. 1's
+    #: low-bias/low-predictability treatment): dest = srcs[1] if srcs[0]
+    #: else srcs[2].
+    SEL = enum.auto()
+
+    # Floating point.
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+
+    # Compares: write 1/0 into the destination register.
+    CMP_EQ = enum.auto()
+    CMP_NE = enum.auto()
+    CMP_LT = enum.auto()
+    CMP_LE = enum.auto()
+    CMP_GT = enum.auto()
+    CMP_GE = enum.auto()
+
+    # Memory.
+    LOAD = enum.auto()
+    STORE = enum.auto()
+
+    # Control flow.
+    BNZ = enum.auto()  # branch to target if cond != 0
+    BZ = enum.auto()  # branch to target if cond == 0
+    JMP = enum.auto()
+    CALL = enum.auto()
+    RET = enum.auto()
+
+    # The paper's decomposed-branch extension.
+    PREDICT = enum.auto()
+    RESOLVE_NZ = enum.auto()  # divert to correction target if cond != 0
+    RESOLVE_Z = enum.auto()  # divert to correction target if cond == 0
+
+    # Misc.
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+_ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOV,
+        Opcode.LI,
+        Opcode.SEL,
+    }
+)
+_FP_OPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+_CMP_OPS = frozenset(
+    {
+        Opcode.CMP_EQ,
+        Opcode.CMP_NE,
+        Opcode.CMP_LT,
+        Opcode.CMP_LE,
+        Opcode.CMP_GT,
+        Opcode.CMP_GE,
+    }
+)
+_COND_BRANCH_OPS = frozenset({Opcode.BNZ, Opcode.BZ})
+_RESOLVE_OPS = frozenset({Opcode.RESOLVE_NZ, Opcode.RESOLVE_Z})
+_CONTROL_OPS = (
+    _COND_BRANCH_OPS
+    | _RESOLVE_OPS
+    | {Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.PREDICT}
+)
+
+#: Execution latency in cycles per opcode (loads are the L1 hit latency;
+#: the simulator's memory hierarchy supersedes it with the actual level's
+#: latency -- the static value drives the scheduler's priorities).
+LATENCY = {
+    Opcode.LOAD: 4,
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.FADD: 4,
+    Opcode.FSUB: 4,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+}
+_DEFAULT_LATENCY = 1
+
+#: All instructions occupy four bytes; used for the static-code-size
+#: metric (PISCS) and for I-cache addressing.
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    ``target`` holds a label name until the assembler resolves it to a PC
+    (an index into the program's instruction list).
+
+    Annotations carried for the paper's metrics and mechanisms:
+
+    * ``branch_id`` -- static branch-site identity shared by a decomposed
+      branch's PREDICT and both RESOLVEs (and by an ordinary branch with
+      itself); it is what the direction predictor is indexed by.
+    * ``predicted_dir`` -- on a RESOLVE, the direction the matching PREDICT
+      chose on this path (True = taken).  Fall-through through the RESOLVE
+      confirms that direction.
+    * ``speculative`` -- non-faulting load hoisted above a resolution point
+      (rendered with a ``+`` in the paper's Fig. 6).
+    * ``hoisted`` -- instruction moved above a resolution point by the
+      transformation; feeds the PDIH column of Table 2.
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[Union[int, float]] = None
+    target: Optional[Union[str, int]] = None
+    branch_id: Optional[int] = None
+    predicted_dir: Optional[bool] = None
+    speculative: bool = False
+    hoisted: bool = False
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_alu(self) -> bool:
+        return self.opcode in _ALU_OPS or self.opcode in _CMP_OPS
+
+    @property
+    def is_fp(self) -> bool:
+        return self.opcode in _FP_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode in _COND_BRANCH_OPS
+
+    @property
+    def is_resolve(self) -> bool:
+        return self.opcode in _RESOLVE_OPS
+
+    @property
+    def is_predict(self) -> bool:
+        return self.opcode is Opcode.PREDICT
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode in _CONTROL_OPS
+
+    @property
+    def is_terminator(self) -> bool:
+        """True for opcodes that may end a basic block."""
+        return self.opcode in _CONTROL_OPS or self.opcode is Opcode.HALT
+
+    @property
+    def fu_class(self) -> FuClass:
+        if self.opcode in (Opcode.PREDICT, Opcode.NOP, Opcode.HALT):
+            return FuClass.NONE
+        if self.is_mem:
+            return FuClass.MEM
+        if self.is_fp:
+            return FuClass.FP
+        return FuClass.INT
+
+    @property
+    def latency(self) -> int:
+        return LATENCY.get(self.opcode, _DEFAULT_LATENCY)
+
+    # -- convenience ---------------------------------------------------
+
+    def with_target(self, target: Union[str, int]) -> "Instruction":
+        return replace(self, target=target)
+
+    def reads(self) -> Tuple[int, ...]:
+        return self.srcs
+
+    def writes(self) -> Optional[int]:
+        return self.dest
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.opcode.name.lower()]
+        if self.dest is not None:
+            parts.append(f"r{self.dest}")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        flags = []
+        if self.speculative:
+            flags.append("+")
+        if self.hoisted:
+            flags.append("h")
+        if self.branch_id is not None:
+            flags.append(f"b{self.branch_id}")
+        if self.predicted_dir is not None:
+            flags.append("pT" if self.predicted_dir else "pNT")
+        if flags:
+            parts.append("[" + ",".join(flags) + "]")
+        return " ".join(parts)
+
+
+def resolve_diverts(op: Opcode, cond_value: Union[int, float]) -> bool:
+    """Whether a RESOLVE opcode diverts to its correction target."""
+    if op is Opcode.RESOLVE_NZ:
+        return bool(cond_value)
+    if op is Opcode.RESOLVE_Z:
+        return not bool(cond_value)
+    raise ValueError(f"not a resolve opcode: {op}")
+
+
+def branch_taken(op: Opcode, cond_value: Union[int, float]) -> bool:
+    """Whether a conditional branch opcode takes its target."""
+    if op is Opcode.BNZ:
+        return bool(cond_value)
+    if op is Opcode.BZ:
+        return not bool(cond_value)
+    raise ValueError(f"not a conditional branch opcode: {op}")

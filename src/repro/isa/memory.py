@@ -1,0 +1,69 @@
+"""Functional data memory.
+
+Word-addressed sparse memory.  The timing side (caches, latencies) lives in
+:mod:`repro.memory`; this class only provides architectural load/store
+semantics, including the non-faulting behaviour that speculative loads rely
+on (Section 2.2: "non-faulting or deferred-faulting load instructions").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+Value = Union[int, float]
+
+#: Bytes per data word, used to convert word addresses into byte addresses
+#: for the cache models.
+WORD_BYTES = 8
+
+
+class MemoryFault(Exception):
+    """Raised by a *non-speculative* access to an invalid address."""
+
+
+class Memory:
+    """Sparse word-addressed memory with a configurable valid range.
+
+    Addresses in ``[0, limit)`` are valid; anything else faults unless the
+    access is speculative, in which case the load returns 0 with the fault
+    suppressed (the behaviour the transformation depends on when hoisting
+    loads above a resolution point).
+    """
+
+    __slots__ = ("_words", "limit", "faults_suppressed")
+
+    def __init__(self, limit: int = 1 << 24) -> None:
+        self._words: Dict[int, Value] = {}
+        self.limit = limit
+        #: Count of faults suppressed on speculative loads (observability).
+        self.faults_suppressed = 0
+
+    def _check(self, address: int) -> bool:
+        return 0 <= address < self.limit
+
+    def load(self, address: int, speculative: bool = False) -> Value:
+        if not self._check(address):
+            if speculative:
+                self.faults_suppressed += 1
+                return 0
+            raise MemoryFault(f"load from invalid address {address:#x}")
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: Value) -> None:
+        if not self._check(address):
+            raise MemoryFault(f"store to invalid address {address:#x}")
+        self._words[address] = value
+
+    def load_block(self, base: int, values: Iterable[Value]) -> None:
+        """Initialise consecutive words starting at ``base``."""
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+
+    def snapshot(self) -> Tuple[Tuple[int, Value], ...]:
+        """Sorted (address, value) pairs with zero entries dropped."""
+        return tuple(
+            sorted((a, v) for a, v in self._words.items() if v != 0)
+        )
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,90 @@
+"""Program container: a linear instruction sequence with resolved labels.
+
+The IR assembler (:mod:`repro.ir.lower`) produces these.  A :class:`Program`
+also carries its initial data segment so that a run is fully reproducible
+from the object alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .instructions import INSTRUCTION_BYTES, Instruction
+
+Value = Union[int, float]
+
+
+class AssemblyError(Exception):
+    """Raised when labels cannot be resolved."""
+
+
+@dataclass
+class Program:
+    """An executable program for the simulator.
+
+    ``instructions`` have integer ``target`` fields (PC indices).
+    ``labels`` maps label name -> PC for diagnostics and disassembly.
+    ``data`` maps word address -> initial value for the data segment.
+    """
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, Value] = field(default_factory=dict)
+    name: str = "program"
+
+    @property
+    def static_size_bytes(self) -> int:
+        """Static code size; feeds the PISCS column of Table 2."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_at(self, pc: int) -> Optional[str]:
+        for name, addr in self.labels.items():
+            if addr == pc:
+                return name
+        return None
+
+    def disassemble(self, start: int = 0, count: Optional[int] = None) -> str:
+        """Human-readable listing, used by the examples."""
+        end = len(self.instructions) if count is None else start + count
+        lines = []
+        addr_to_label = {addr: name for name, addr in self.labels.items()}
+        for pc in range(start, min(end, len(self.instructions))):
+            label = addr_to_label.get(pc)
+            if label is not None:
+                lines.append(f"{label}:")
+            inst = self.instructions[pc]
+            text = str(inst)
+            if isinstance(inst.target, int) and inst.target in addr_to_label:
+                text = text.replace(
+                    f"-> {inst.target}", f"-> {addr_to_label[inst.target]}"
+                )
+            lines.append(f"  {pc:5d}  {text}")
+        return "\n".join(lines)
+
+
+def assemble(
+    instructions: Sequence[Instruction],
+    labels: Dict[str, int],
+    data: Optional[Dict[int, Value]] = None,
+    name: str = "program",
+) -> Program:
+    """Resolve string targets against ``labels`` and build a Program."""
+    resolved: List[Instruction] = []
+    for pc, inst in enumerate(instructions):
+        if isinstance(inst.target, str):
+            if inst.target not in labels:
+                raise AssemblyError(
+                    f"undefined label {inst.target!r} at pc {pc}"
+                )
+            inst = inst.with_target(labels[inst.target])
+        resolved.append(inst)
+    return Program(
+        instructions=resolved,
+        labels=dict(labels),
+        data=dict(data or {}),
+        name=name,
+    )

@@ -1,0 +1,62 @@
+"""Architected register file.
+
+The paper's DBT substrate exposes "additional registers to hold speculative
+values" (Section 2.2, item 3).  We model 64 general registers; by convention
+the workload generator keeps a contiguous high range free so that the
+Decomposed Branch Transformation always has temporaries available without
+spilling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+#: Total architected registers.
+NUM_REGISTERS = 64
+
+#: Registers >= this index are reserved as speculation temporaries for the
+#: transformation (the paper's "additional registers", Section 2.2).
+FIRST_TEMP_REGISTER = 48
+
+#: Link register used by CALL/RET.
+LINK_REGISTER = NUM_REGISTERS - 1
+
+Value = Union[int, float]
+
+_INT_MASK = (1 << 64) - 1
+
+
+def wrap_int(value: int) -> int:
+    """Wrap an integer to signed 64-bit two's-complement range."""
+    value &= _INT_MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class RegisterFile:
+    """A flat file of ``NUM_REGISTERS`` values, zero-initialised."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs: List[Value] = [0] * NUM_REGISTERS
+
+    def read(self, index: int) -> Value:
+        return self._regs[index]
+
+    def write(self, index: int, value: Value) -> None:
+        if isinstance(value, int):
+            value = wrap_int(value)
+        self._regs[index] = value
+
+    def snapshot(self) -> List[Value]:
+        """A copy of the full register state, for differential testing."""
+        return list(self._regs)
+
+    def load_many(self, values: Iterable[Value]) -> None:
+        for index, value in enumerate(values):
+            self.write(index, value)
+
+    def __len__(self) -> int:
+        return NUM_REGISTERS

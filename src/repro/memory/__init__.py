@@ -1,0 +1,7 @@
+"""Cache/memory timing substrate: set-associative caches and the Table 1
+hierarchy with miss-buffer limits."""
+
+from .cache import Cache
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+
+__all__ = ["Cache", "HierarchyConfig", "MemoryHierarchy"]

@@ -1,0 +1,94 @@
+"""Set-associative cache with LRU replacement.
+
+Timing-only: the functional value lives in :class:`repro.isa.Memory`; these
+caches track tag state so the hierarchy can assign each access a latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Cache:
+    """One cache level. Addresses are byte addresses."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+    ) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line ({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        # Non-power-of-two set counts are allowed (the Section 6.1 sweep
+        # includes a 24 KB I-cache: 96 sets); indexing is by modulo.
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self._line_shift = line_bytes.bit_length() - 1
+        # Per-set MRU-ordered tag lists (index 0 = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def access(self, byte_address: int) -> bool:
+        """Touch the line holding ``byte_address``; True on hit.
+
+        Misses allocate the line (write-allocate; fills are free in the
+        timing model, consistent with the flat per-level latencies of
+        Table 1).
+        """
+        line = byte_address >> self._line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[index]
+        self.accesses += 1
+        try:
+            position = ways.index(tag)
+        except ValueError:
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        self.hits += 1
+        if position:
+            ways.insert(0, ways.pop(position))
+        return True
+
+    def install(self, byte_address: int) -> None:
+        """Insert a line without touching the access statistics (used by
+        the next-line prefetcher)."""
+        line = byte_address >> self._line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            return
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+
+    def probe(self, byte_address: int) -> bool:
+        """Hit test with no state change (used by tests)."""
+        line = byte_address >> self._line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        return tag in self._sets[index]
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.hits = 0

@@ -1,0 +1,32 @@
+"""Cycle-level in-order superscalar model plus a timing-free functional
+executor for profiling and differential testing."""
+
+from .config import MachineConfig
+from .core import InOrderCore, SimulationError, SimulationResult
+from .ooo import OutOfOrderCore
+from .functional import (
+    FunctionalResult,
+    always_not_taken,
+    always_taken,
+    collect_branch_trace,
+    execute,
+)
+from .stats import SimStats
+from .visualize import TraceRow, collect_timeline, render_timeline
+
+__all__ = [
+    "FunctionalResult",
+    "InOrderCore",
+    "OutOfOrderCore",
+    "MachineConfig",
+    "SimStats",
+    "TraceRow",
+    "collect_timeline",
+    "render_timeline",
+    "SimulationError",
+    "SimulationResult",
+    "always_not_taken",
+    "always_taken",
+    "collect_branch_trace",
+    "execute",
+]

@@ -1,0 +1,465 @@
+"""Cycle-level in-order superscalar timing model.
+
+The model executes a program functionally *in fetch order* while computing,
+per dynamic instruction, the cycle it fetches and the cycle it issues under
+the machine constraints of Table 1:
+
+* width-limited fetch groups, I-cache timing, a fetch buffer that bounds how
+  far fetch runs ahead of issue;
+* a 5-stage front end (a redirect costs that depth before the first
+  correct-path instruction can issue);
+* strictly in-order issue with per-cycle width and per-class FU-port limits
+  (2x LD/ST, 2x INT, 4x FP) -- head-of-line blocking falls out naturally;
+* operand readiness through a scoreboard with 1-cycle bypass;
+* loads timed by the cache hierarchy (4-cycle L1 hit .. 140-cycle DRAM),
+  with the dual LD/ST ports providing MLP.
+
+Decomposed-branch semantics follow the paper exactly: a PREDICT is consumed
+by the front end (it steers fetch and allocates a DBB entry but never
+occupies an issue slot); the architecture then *commits* the predicted
+path.  The RESOLVE issues like a branch, and on a mispredict redirects
+fetch into the compiler's correction code and triggers the deferred
+predictor update through the DBB.  Ordinary branches predict at fetch and
+squash-and-redirect at execute on a mispredict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..branchpred import BranchTargetBuffer, ReturnAddressStack
+from ..core.dbb import DecomposedBranchBuffer
+from ..isa import (
+    FuClass,
+    Instruction,
+    Memory,
+    Opcode,
+    Program,
+    branch_taken,
+    resolve_diverts,
+    wrap_int,
+)
+from .config import MachineConfig
+from .stats import SimStats
+
+Value = Union[int, float]
+
+#: Bytes per instruction for I-cache addressing.
+_INST_BYTES = 4
+_LINE_SHIFT = 6  # 64-byte lines
+
+
+class SimulationError(Exception):
+    """Raised when a program misbehaves (runs off the end, bad opcode...)."""
+
+
+@dataclass
+class SimulationResult:
+    """Architectural and timing outcome of one run."""
+
+    stats: SimStats
+    registers: List[Value]
+    memory: Memory
+    program: Program
+
+    def register(self, index: int) -> Value:
+        return self.registers[index]
+
+    def memory_snapshot(self) -> Tuple[Tuple[int, Value], ...]:
+        return self.memory.snapshot()
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class InOrderCore:
+    """One in-order superscalar core built from a :class:`MachineConfig`."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+
+    # The run loop is deliberately one long function: it is the hot path of
+    # every experiment, and locals are markedly faster than attribute
+    # lookups in CPython.
+    def run(
+        self,
+        program: Program,
+        max_instructions: int = 2_000_000,
+        trace=None,
+    ) -> SimulationResult:
+        """Simulate ``program``.
+
+        ``trace``, if given, is called as ``trace(pc, inst, fetch_cycle,
+        issue_cycle, complete_cycle)`` for every back-end instruction --
+        a debugging/visualisation hook (PREDICTs do not reach the back
+        end and are not traced).
+        """
+        from ..memory import MemoryHierarchy
+
+        config = self.config
+        stats = SimStats()
+        instructions = program.instructions
+        program_len = len(instructions)
+
+        regs: List[Value] = [0] * 64
+        reg_ready = [0] * 64
+        reg_from_load = [False] * 64
+        memory = Memory()
+        for address, value in program.data.items():
+            memory.store(address, value)
+
+        hierarchy = MemoryHierarchy(config.hierarchy)
+        predictor = config.predictor_factory()
+        btb = BranchTargetBuffer(config.btb_entries)
+        ras = ReturnAddressStack(config.ras_entries)
+        dbb = DecomposedBranchBuffer(config.dbb_entries)
+
+        width = config.width
+        front_depth = config.front_end_stages
+        fetch_buffer = config.fetch_buffer_entries
+        port_cap = {
+            FuClass.INT: config.int_ports,
+            FuClass.MEM: config.mem_ports,
+            FuClass.FP: config.fp_ports,
+        }
+
+        issued_at: Dict[int, int] = {}
+        port_at: Dict[FuClass, Dict[int, int]] = {
+            FuClass.INT: {},
+            FuClass.MEM: {},
+            FuClass.FP: {},
+        }
+
+        fetch_cycle = 0
+        fetch_slots = 0
+        current_line = -1
+        prev_issue = 0
+        last_cycle = 0
+        under_mispredict_window = False
+        # Issue cycles of the last `fetch_buffer` back-end instructions;
+        # when full, its head gates fetch (the buffer entry frees at issue).
+        issue_ring = deque(maxlen=fetch_buffer)
+        prune_mark = 0
+
+        pc = 0
+        committed = 0
+        mem_limit = memory.limit
+
+        while committed < max_instructions:
+            if pc < 0 or pc >= program_len:
+                raise SimulationError(
+                    f"pc {pc} outside program of length {program_len}"
+                )
+            inst = instructions[pc]
+            op = inst.opcode
+
+            # ---------------- fetch timing ----------------
+            byte_pc = pc << 2
+            line = byte_pc >> _LINE_SHIFT
+            if line != current_line:
+                ready = hierarchy.access_inst(byte_pc, fetch_cycle)
+                if ready > fetch_cycle:
+                    stats.icache_misses += 1
+                    if under_mispredict_window:
+                        stats.icache_misses_under_mispredict += 1
+                    fetch_cycle = ready
+                    fetch_slots = 0
+                under_mispredict_window = False
+                current_line = line
+            if fetch_slots >= width:
+                fetch_cycle += 1
+                fetch_slots = 0
+            if len(issue_ring) == fetch_buffer:
+                # The fetch buffer is full until the instruction
+                # `fetch_buffer` back has issued.
+                gate = issue_ring[0]
+                if gate > fetch_cycle:
+                    fetch_cycle = gate
+                    fetch_slots = 0
+            fetch_time = fetch_cycle
+            fetch_slots += 1
+            stats.fetched += 1
+
+            committed += 1
+            stats.committed += 1
+            if inst.hoisted:
+                stats.hoisted_committed += 1
+
+            # ---------------- PREDICT: front-end only ----------------
+            if op is Opcode.PREDICT:
+                stats.predicts += 1
+                branch_id = inst.branch_id if inst.branch_id is not None else pc
+                prediction = predictor.lookup(branch_id)
+                dbb.insert(prediction, branch_id)
+                if prediction.taken:
+                    target = inst.target
+                    if btb.lookup(pc) is None:
+                        fetch_cycle = (
+                            fetch_time
+                            + config.taken_redirect_bubble
+                            + config.btb_miss_bubble
+                        )
+                        stats.btb_miss_bubbles += 1
+                        btb.insert(pc, target)
+                    else:
+                        fetch_cycle = fetch_time + config.taken_redirect_bubble
+                    fetch_slots = 0
+                    current_line = -1
+                    stats.taken_redirects += 1
+                    pc = target
+                else:
+                    pc += 1
+                if last_cycle < fetch_time:
+                    last_cycle = fetch_time
+                continue
+
+            if op is Opcode.HALT:
+                stats.halted = True
+                if last_cycle < fetch_time:
+                    last_cycle = fetch_time
+                break
+
+            # ---------------- issue-slot computation ----------------
+            base = fetch_time + front_depth
+            if base < prev_issue:
+                base = prev_issue
+            operand_wait_from_load = 0
+            operand_ready = base
+            for reg in inst.srcs:
+                ready = reg_ready[reg]
+                if ready > operand_ready:
+                    operand_ready = ready
+                    operand_wait_from_load = reg_from_load[reg]
+            if operand_wait_from_load and operand_ready > base:
+                stats.load_use_stall_cycles += operand_ready - base
+
+            fu = inst.fu_class
+            t = operand_ready
+            if fu is FuClass.NONE:  # NOP
+                issue = t
+            else:
+                cap = port_cap[fu]
+                ports = port_at[fu]
+                while (
+                    issued_at.get(t, 0) >= width or ports.get(t, 0) >= cap
+                ):
+                    t += 1
+                issued_at[t] = issued_at.get(t, 0) + 1
+                ports[t] = ports.get(t, 0) + 1
+                issue = t
+                stats.issued += 1
+            prev_issue = issue
+            issue_ring.append(issue)
+            if (
+                op is Opcode.BNZ
+                or op is Opcode.BZ
+                or op is Opcode.RESOLVE_NZ
+                or op is Opcode.RESOLVE_Z
+            ):
+                # Total back-end queueing delay of the resolution point:
+                # how long the branch sat past its earliest front-end
+                # arrival before it could issue (the ASPCB numerator).
+                wait = issue - (fetch_time + front_depth)
+                if wait > 0:
+                    stats.resolution_stall_cycles += wait
+
+            # Periodically prune per-cycle tables (t only moves forward).
+            if issue - prune_mark > 50_000:
+                issued_at = {
+                    c: n for c, n in issued_at.items() if c >= prev_issue
+                }
+                for key in port_at:
+                    port_at[key] = {
+                        c: n for c, n in port_at[key].items() if c >= prev_issue
+                    }
+                prune_mark = issue
+
+            complete = issue + inst.latency
+            next_pc = pc + 1
+
+            # ---------------- execute ----------------
+            if op is Opcode.LOAD:
+                address = regs[inst.srcs[0]] + (inst.imm or 0)
+                if inst.speculative and not (0 <= address < mem_limit):
+                    memory.faults_suppressed += 1
+                    value = 0
+                    complete = issue + config.hierarchy.l1_latency
+                else:
+                    value = memory.load(address, speculative=inst.speculative)
+                    complete = hierarchy.access_data(address << 3, issue)
+                dest = inst.dest
+                regs[dest] = value
+                reg_ready[dest] = complete
+                reg_from_load[dest] = True
+                stats.loads += 1
+                if inst.speculative:
+                    stats.speculative_loads += 1
+            elif op is Opcode.STORE:
+                address = regs[inst.srcs[1]] + (inst.imm or 0)
+                memory.store(address, regs[inst.srcs[0]])
+                hierarchy.access_data(address << 3, issue)
+                stats.stores += 1
+                complete = issue + 1
+            elif op is Opcode.BNZ or op is Opcode.BZ:
+                stats.cond_branches += 1
+                branch_id = inst.branch_id if inst.branch_id is not None else pc
+                prediction = predictor.lookup(branch_id)
+                taken = branch_taken(op, regs[inst.srcs[0]])
+                predictor.update(prediction, taken)
+                actual_target = inst.target if taken else next_pc
+                if prediction.taken != taken:
+                    stats.cond_mispredicts += 1
+                    dbb.recover_tail(dbb.tail)
+                    fetch_cycle = complete + 1
+                    fetch_slots = 0
+                    current_line = -1
+                    under_mispredict_window = True
+                elif taken:
+                    stats.taken_redirects += 1
+                    if btb.lookup(pc) is None:
+                        fetch_cycle = (
+                            fetch_time
+                            + config.taken_redirect_bubble
+                            + config.btb_miss_bubble
+                        )
+                        stats.btb_miss_bubbles += 1
+                        btb.insert(pc, inst.target)
+                    else:
+                        fetch_cycle = fetch_time + config.taken_redirect_bubble
+                    fetch_slots = 0
+                    current_line = -1
+                next_pc = actual_target
+            elif op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z:
+                stats.resolves += 1
+                diverted = resolve_diverts(op, regs[inst.srcs[0]])
+                actual_taken = (
+                    (not inst.predicted_dir) if diverted else inst.predicted_dir
+                )
+                dbb.resolve(dbb.tail, actual_taken, predictor)
+                if diverted:
+                    stats.resolve_mispredicts += 1
+                    fetch_cycle = complete + 1
+                    fetch_slots = 0
+                    current_line = -1
+                    under_mispredict_window = True
+                    next_pc = inst.target
+            elif op is Opcode.JMP:
+                stats.taken_redirects += 1
+                fetch_cycle = fetch_time + config.taken_redirect_bubble
+                fetch_slots = 0
+                current_line = -1
+                next_pc = inst.target
+            elif op is Opcode.CALL:
+                regs[inst.dest] = pc + 1
+                reg_ready[inst.dest] = complete
+                reg_from_load[inst.dest] = False
+                ras.push(pc + 1)
+                stats.taken_redirects += 1
+                fetch_cycle = fetch_time + config.taken_redirect_bubble
+                fetch_slots = 0
+                current_line = -1
+                next_pc = inst.target
+            elif op is Opcode.RET:
+                actual = regs[inst.srcs[0]]
+                predicted = ras.pop()
+                if predicted != actual:
+                    stats.ras_mispredicts += 1
+                    fetch_cycle = complete + 1
+                    under_mispredict_window = True
+                else:
+                    stats.taken_redirects += 1
+                    fetch_cycle = fetch_time + config.taken_redirect_bubble
+                fetch_slots = 0
+                current_line = -1
+                next_pc = actual
+            elif op is Opcode.NOP:
+                pass
+            else:
+                # Straight-line ALU / FP / compare / move.
+                value = _evaluate(op, inst, regs)
+                dest = inst.dest
+                regs[dest] = value
+                reg_ready[dest] = complete
+                reg_from_load[dest] = False
+
+            if complete > last_cycle:
+                last_cycle = complete
+            if trace is not None:
+                trace(pc, inst, fetch_time, issue, complete)
+            pc = next_pc
+
+        stats.cycles = last_cycle + 1
+        return SimulationResult(
+            stats=stats,
+            registers=list(regs),
+            memory=memory,
+            program=program,
+        )
+
+
+def _evaluate(op: Opcode, inst: Instruction, regs: List[Value]) -> Value:
+    """Evaluate one ALU/FP/compare/move instruction."""
+    srcs = inst.srcs
+    a = regs[srcs[0]] if srcs else 0
+    b = inst.imm if inst.imm is not None else (
+        regs[srcs[1]] if len(srcs) > 1 else 0
+    )
+    if op is Opcode.ADD:
+        return wrap_int(a + b) if isinstance(a, int) and isinstance(b, int) else a + b
+    if op is Opcode.SUB:
+        return wrap_int(a - b) if isinstance(a, int) and isinstance(b, int) else a - b
+    if op is Opcode.MUL:
+        return wrap_int(a * b) if isinstance(a, int) and isinstance(b, int) else a * b
+    if op is Opcode.DIV:
+        if b == 0:
+            return 0
+        if isinstance(a, int) and isinstance(b, int):
+            quotient = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            return wrap_int(quotient)
+        return a / b
+    if op is Opcode.AND:
+        return wrap_int(int(a) & int(b))
+    if op is Opcode.OR:
+        return wrap_int(int(a) | int(b))
+    if op is Opcode.XOR:
+        return wrap_int(int(a) ^ int(b))
+    if op is Opcode.SHL:
+        return wrap_int(int(a) << (int(b) & 63))
+    if op is Opcode.SHR:
+        return wrap_int(int(a) >> (int(b) & 63))
+    if op is Opcode.SEL:
+        return regs[srcs[1]] if a else regs[srcs[2]]
+    if op is Opcode.MOV:
+        return a
+    if op is Opcode.LI:
+        return inst.imm if inst.imm is not None else 0
+    if op is Opcode.FADD:
+        return float(a) + float(b)
+    if op is Opcode.FSUB:
+        return float(a) - float(b)
+    if op is Opcode.FMUL:
+        return float(a) * float(b)
+    if op is Opcode.FDIV:
+        return float(a) / float(b) if b else 0.0
+    if op is Opcode.CMP_EQ:
+        return int(a == b)
+    if op is Opcode.CMP_NE:
+        return int(a != b)
+    if op is Opcode.CMP_LT:
+        return int(a < b)
+    if op is Opcode.CMP_LE:
+        return int(a <= b)
+    if op is Opcode.CMP_GT:
+        return int(a > b)
+    if op is Opcode.CMP_GE:
+        return int(a >= b)
+    raise SimulationError(f"unhandled opcode {op}")

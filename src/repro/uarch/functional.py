@@ -1,0 +1,163 @@
+"""Timing-free functional executor.
+
+Two uses:
+
+* **Profiling** (the paper's TRAIN runs): execute the baseline program and
+  record every conditional branch's (branch_id, outcome) so the selection
+  heuristic can measure bias and predictability.
+* **Differential correctness**: the Decomposed Branch Transformation must
+  preserve program semantics *regardless of prediction accuracy* -- the
+  correction code repairs any misprediction.  This executor takes an
+  arbitrary prediction policy for PREDICT instructions, so tests can drive
+  transformed programs down always-taken, always-not-taken, random, and
+  adversarial prediction streams and assert identical final memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from ..isa import (
+    Memory,
+    Opcode,
+    Program,
+    branch_taken,
+    resolve_diverts,
+)
+from .core import SimulationError, _evaluate
+
+Value = Union[int, float]
+
+#: Maps a static branch id to a predicted direction for PREDICT.
+PredictPolicy = Callable[[int], bool]
+
+
+def always_taken(_branch_id: int) -> bool:
+    return True
+
+
+def always_not_taken(_branch_id: int) -> bool:
+    return False
+
+
+@dataclass
+class FunctionalResult:
+    registers: List[Value]
+    memory: Memory
+    instructions_executed: int
+    branch_trace: List[Tuple[int, bool]] = field(default_factory=list)
+    halted: bool = False
+    #: Dynamic count per static pc, for hot-spot inspection.
+    resolve_mispredicts: int = 0
+
+    def memory_snapshot(self):
+        return self.memory.snapshot()
+
+
+def execute(
+    program: Program,
+    predict_policy: PredictPolicy = always_not_taken,
+    max_instructions: int = 5_000_000,
+    record_branch_trace: bool = False,
+) -> FunctionalResult:
+    """Run ``program`` functionally.
+
+    ``predict_policy`` chooses the direction of each PREDICT instruction;
+    the RESOLVE on the chosen path then checks the real condition and, on a
+    "mispredict", diverts into the correction code exactly as the hardware
+    would.
+    """
+    instructions = program.instructions
+    program_len = len(instructions)
+    regs: List[Value] = [0] * 64
+    memory = Memory()
+    for address, value in program.data.items():
+        memory.store(address, value)
+
+    trace: List[Tuple[int, bool]] = []
+    executed = 0
+    resolve_mispredicts = 0
+    halted = False
+    pc = 0
+
+    while executed < max_instructions:
+        if pc < 0 or pc >= program_len:
+            raise SimulationError(
+                f"pc {pc} outside program of length {program_len}"
+            )
+        inst = instructions[pc]
+        op = inst.opcode
+        executed += 1
+
+        if op is Opcode.HALT:
+            halted = True
+            break
+        if op is Opcode.PREDICT:
+            branch_id = inst.branch_id if inst.branch_id is not None else pc
+            pc = inst.target if predict_policy(branch_id) else pc + 1
+            continue
+        if op is Opcode.BNZ or op is Opcode.BZ:
+            taken = branch_taken(op, regs[inst.srcs[0]])
+            if record_branch_trace:
+                branch_id = (
+                    inst.branch_id if inst.branch_id is not None else pc
+                )
+                trace.append((branch_id, taken))
+            pc = inst.target if taken else pc + 1
+            continue
+        if op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z:
+            if resolve_diverts(op, regs[inst.srcs[0]]):
+                resolve_mispredicts += 1
+                pc = inst.target
+            else:
+                pc += 1
+            continue
+        if op is Opcode.JMP:
+            pc = inst.target
+            continue
+        if op is Opcode.CALL:
+            regs[inst.dest] = pc + 1
+            pc = inst.target
+            continue
+        if op is Opcode.RET:
+            pc = regs[inst.srcs[0]]
+            continue
+        if op is Opcode.LOAD:
+            address = regs[inst.srcs[0]] + (inst.imm or 0)
+            regs[inst.dest] = memory.load(
+                address, speculative=inst.speculative
+            )
+            pc += 1
+            continue
+        if op is Opcode.STORE:
+            address = regs[inst.srcs[1]] + (inst.imm or 0)
+            memory.store(address, regs[inst.srcs[0]])
+            pc += 1
+            continue
+        if op is Opcode.NOP:
+            pc += 1
+            continue
+        regs[inst.dest] = _evaluate(op, inst, regs)
+        pc += 1
+
+    return FunctionalResult(
+        registers=regs,
+        memory=memory,
+        instructions_executed=executed,
+        branch_trace=trace,
+        halted=halted,
+        resolve_mispredicts=resolve_mispredicts,
+    )
+
+
+def collect_branch_trace(
+    program: Program, max_instructions: int = 5_000_000
+) -> List[Tuple[int, bool]]:
+    """The profiling entry point: run and return the branch trace."""
+    result = execute(
+        program,
+        max_instructions=max_instructions,
+        record_branch_trace=True,
+    )
+    return result.branch_trace

@@ -1,0 +1,296 @@
+"""Out-of-order reference core.
+
+The paper's motivation (Section 1, citing the authors' ASPLOS'13 study) is
+that control speculation already lets *out-of-order* machines schedule
+around predictable branches dynamically -- the decomposed branch
+transformation exists because in-order machines cannot.  This model makes
+that premise testable: a window-based OOO core over the same ISA, caches
+and predictors, on which the transformation should yield ~nothing.
+
+Model: instructions enter a ROB-like window in fetch order and issue when
+their operands are ready and a port is free -- no in-order issue
+constraint; the window size and commit width bound how far execution runs
+ahead.  Branches still predict at fetch and squash-and-redirect at
+execute.  This is deliberately idealised (perfect renaming, no issue-queue
+capacity separate from the window): it over-approximates a real OOO, which
+only *strengthens* the motivation result.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Union
+
+from ..core.dbb import DecomposedBranchBuffer
+from ..isa import (
+    FuClass,
+    Memory,
+    Opcode,
+    Program,
+    branch_taken,
+    resolve_diverts,
+)
+from .config import MachineConfig
+from .core import SimulationError, SimulationResult, _evaluate
+from .stats import SimStats
+
+Value = Union[int, float]
+
+_LINE_SHIFT = 6
+
+
+class OutOfOrderCore:
+    """A window-based OOO core sharing the in-order core's front end."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        window: int = 64,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.window = window
+
+    def run(
+        self,
+        program: Program,
+        max_instructions: int = 2_000_000,
+    ) -> SimulationResult:
+        from ..branchpred import BranchTargetBuffer, ReturnAddressStack
+        from ..memory import MemoryHierarchy
+
+        config = self.config
+        stats = SimStats()
+        instructions = program.instructions
+        program_len = len(instructions)
+
+        regs: List[Value] = [0] * 64
+        reg_ready = [0] * 64
+        memory = Memory()
+        for address, value in program.data.items():
+            memory.store(address, value)
+
+        hierarchy = MemoryHierarchy(config.hierarchy)
+        predictor = config.predictor_factory()
+        btb = BranchTargetBuffer(config.btb_entries)
+        ras = ReturnAddressStack(config.ras_entries)
+        dbb = DecomposedBranchBuffer(config.dbb_entries)
+
+        width = config.width
+        front_depth = config.front_end_stages
+        port_cap = {
+            FuClass.INT: config.int_ports,
+            FuClass.MEM: config.mem_ports,
+            FuClass.FP: config.fp_ports,
+        }
+        port_at: Dict[FuClass, Dict[int, int]] = {
+            FuClass.INT: {},
+            FuClass.MEM: {},
+            FuClass.FP: {},
+        }
+        issued_at: Dict[int, int] = {}
+
+        fetch_cycle = 0
+        fetch_slots = 0
+        current_line = -1
+        last_cycle = 0
+        # Completion times of the youngest `window` instructions: entry to
+        # the window stalls until the instruction `window` back completes
+        # (a commit-bound ROB approximation).
+        inflight: List[int] = []
+        prune_floor = 0
+
+        pc = 0
+        committed = 0
+        mem_limit = memory.limit
+
+        while committed < max_instructions:
+            if pc < 0 or pc >= program_len:
+                raise SimulationError(
+                    f"pc {pc} outside program of length {program_len}"
+                )
+            inst = instructions[pc]
+            op = inst.opcode
+
+            # ---- fetch (same model as the in-order core) ----
+            byte_pc = pc << 2
+            line = byte_pc >> _LINE_SHIFT
+            if line != current_line:
+                ready = hierarchy.access_inst(byte_pc, fetch_cycle)
+                if ready > fetch_cycle:
+                    stats.icache_misses += 1
+                    fetch_cycle = ready
+                    fetch_slots = 0
+                current_line = line
+            if fetch_slots >= width:
+                fetch_cycle += 1
+                fetch_slots = 0
+            if len(inflight) >= self.window:
+                gate = inflight[len(inflight) - self.window]
+                if gate > fetch_cycle:
+                    fetch_cycle = gate
+                    fetch_slots = 0
+            fetch_time = fetch_cycle
+            fetch_slots += 1
+            stats.fetched += 1
+            committed += 1
+            stats.committed += 1
+            if inst.hoisted:
+                stats.hoisted_committed += 1
+
+            if op is Opcode.PREDICT:
+                stats.predicts += 1
+                branch_id = inst.branch_id if inst.branch_id is not None else pc
+                prediction = predictor.lookup(branch_id)
+                dbb.insert(prediction, branch_id)
+                if prediction.taken:
+                    if btb.lookup(pc) is None:
+                        btb.insert(pc, inst.target)
+                        fetch_cycle = fetch_time + 2
+                    else:
+                        fetch_cycle = fetch_time + 1
+                    fetch_slots = 0
+                    current_line = -1
+                    pc = inst.target
+                else:
+                    pc += 1
+                continue
+
+            if op is Opcode.HALT:
+                stats.halted = True
+                break
+
+            # ---- dataflow issue: operands + a free port, no ordering ----
+            base = fetch_time + front_depth
+            operand_ready = base
+            for reg in inst.srcs:
+                if reg_ready[reg] > operand_ready:
+                    operand_ready = reg_ready[reg]
+
+            fu = inst.fu_class
+            t = operand_ready
+            if fu is not FuClass.NONE:
+                cap = port_cap[fu]
+                ports = port_at[fu]
+                while issued_at.get(t, 0) >= width or ports.get(t, 0) >= cap:
+                    t += 1
+                issued_at[t] = issued_at.get(t, 0) + 1
+                ports[t] = ports.get(t, 0) + 1
+                stats.issued += 1
+            issue = t
+            if (
+                op is Opcode.BNZ or op is Opcode.BZ
+                or op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z
+            ):
+                wait = issue - base
+                if wait > 0:
+                    stats.resolution_stall_cycles += wait
+
+            if issue - prune_floor > 50_000:
+                floor = min(issue, fetch_cycle)
+                issued_at = {c: n for c, n in issued_at.items() if c >= floor}
+                for key in port_at:
+                    port_at[key] = {
+                        c: n for c, n in port_at[key].items() if c >= floor
+                    }
+                prune_floor = issue
+
+            complete = issue + inst.latency
+            next_pc = pc + 1
+
+            # ---- execute (architecturally identical to the in-order) ----
+            if op is Opcode.LOAD:
+                address = regs[inst.srcs[0]] + (inst.imm or 0)
+                if inst.speculative and not (0 <= address < mem_limit):
+                    memory.faults_suppressed += 1
+                    value = 0
+                    complete = issue + config.hierarchy.l1_latency
+                else:
+                    value = memory.load(address, speculative=inst.speculative)
+                    complete = hierarchy.access_data(address << 3, issue)
+                regs[inst.dest] = value
+                reg_ready[inst.dest] = complete
+                stats.loads += 1
+                if inst.speculative:
+                    stats.speculative_loads += 1
+            elif op is Opcode.STORE:
+                address = regs[inst.srcs[1]] + (inst.imm or 0)
+                memory.store(address, regs[inst.srcs[0]])
+                hierarchy.access_data(address << 3, issue)
+                stats.stores += 1
+                complete = issue + 1
+            elif op is Opcode.BNZ or op is Opcode.BZ:
+                stats.cond_branches += 1
+                branch_id = inst.branch_id if inst.branch_id is not None else pc
+                prediction = predictor.lookup(branch_id)
+                taken = branch_taken(op, regs[inst.srcs[0]])
+                predictor.update(prediction, taken)
+                if prediction.taken != taken:
+                    stats.cond_mispredicts += 1
+                    fetch_cycle = complete + 1
+                    fetch_slots = 0
+                    current_line = -1
+                elif taken:
+                    stats.taken_redirects += 1
+                    fetch_cycle = fetch_time + 1
+                    fetch_slots = 0
+                    current_line = -1
+                next_pc = inst.target if taken else next_pc
+            elif op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z:
+                stats.resolves += 1
+                diverted = resolve_diverts(op, regs[inst.srcs[0]])
+                actual = (
+                    (not inst.predicted_dir) if diverted else inst.predicted_dir
+                )
+                dbb.resolve(dbb.tail, actual, predictor)
+                if diverted:
+                    stats.resolve_mispredicts += 1
+                    fetch_cycle = complete + 1
+                    fetch_slots = 0
+                    current_line = -1
+                    next_pc = inst.target
+            elif op is Opcode.JMP:
+                stats.taken_redirects += 1
+                fetch_cycle = fetch_time + 1
+                fetch_slots = 0
+                current_line = -1
+                next_pc = inst.target
+            elif op is Opcode.CALL:
+                regs[inst.dest] = pc + 1
+                reg_ready[inst.dest] = complete
+                ras.push(pc + 1)
+                fetch_cycle = fetch_time + 1
+                fetch_slots = 0
+                current_line = -1
+                next_pc = inst.target
+            elif op is Opcode.RET:
+                actual = regs[inst.srcs[0]]
+                predicted = ras.pop()
+                if predicted != actual:
+                    stats.ras_mispredicts += 1
+                    fetch_cycle = complete + 1
+                else:
+                    fetch_cycle = fetch_time + 1
+                fetch_slots = 0
+                current_line = -1
+                next_pc = actual
+            elif op is Opcode.NOP:
+                pass
+            else:
+                value = _evaluate(op, inst, regs)
+                regs[inst.dest] = value
+                reg_ready[inst.dest] = complete
+
+            inflight.append(complete)
+            if len(inflight) > 4 * self.window:
+                inflight = inflight[-self.window :]
+            if complete > last_cycle:
+                last_cycle = complete
+            pc = next_pc
+
+        stats.cycles = last_cycle + 1
+        return SimulationResult(
+            stats=stats,
+            registers=list(regs),
+            memory=memory,
+            program=program,
+        )

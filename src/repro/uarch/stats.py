@@ -1,0 +1,82 @@
+"""Per-run statistics collected by the simulator.
+
+These feed every column of Table 2 and the side-effect analyses of
+Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulation."""
+
+    cycles: int = 0
+    #: Instructions architecturally committed (includes wrong-path work the
+    #: transformation commits and later corrects -- that is the design).
+    committed: int = 0
+    #: Instructions that consumed a back-end issue slot (excludes PREDICT,
+    #: which is dropped at decode, and NOPs).
+    issued: int = 0
+    fetched: int = 0
+
+    loads: int = 0
+    stores: int = 0
+    load_use_stall_cycles: int = 0
+
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    taken_redirects: int = 0
+    btb_miss_bubbles: int = 0
+
+    predicts: int = 0
+    resolves: int = 0
+    resolve_mispredicts: int = 0
+    #: Stall cycles attributable to waiting for a branch/resolve condition
+    #: operand (the ASPCB numerator).
+    resolution_stall_cycles: int = 0
+    #: Committed instructions carrying the ``hoisted`` mark (PDIH numerator).
+    hoisted_committed: int = 0
+    speculative_loads: int = 0
+
+    ras_mispredicts: int = 0
+
+    icache_misses: int = 0
+    icache_misses_under_mispredict: int = 0
+
+    halted: bool = False
+    by_opcode: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def mppki(self) -> float:
+        """Branch mispredictions per thousand committed instructions."""
+        if not self.committed:
+            return 0.0
+        mispredicts = self.cond_mispredicts + self.resolve_mispredicts
+        return 1000.0 * mispredicts / self.committed
+
+    @property
+    def branch_accuracy(self) -> float:
+        total = self.cond_branches + self.resolves
+        if not total:
+            return 1.0
+        wrong = self.cond_mispredicts + self.resolve_mispredicts
+        return 1.0 - wrong / total
+
+    @property
+    def aspcb(self) -> float:
+        """Average stall cycles per (converted or convertible) branch."""
+        denom = self.resolves if self.resolves else self.cond_branches
+        if not denom:
+            return 0.0
+        return self.resolution_stall_cycles / denom
+
+    def count_opcode(self, name: str) -> None:
+        self.by_opcode[name] = self.by_opcode.get(name, 0) + 1

@@ -1,0 +1,111 @@
+"""Branch-outcome processes with independently controlled bias and
+predictability.
+
+The paper's whole opportunity is the gap between these two quantities
+(Figures 2/3): a branch can be 60/40 *biased* yet 90% *predictable*.  We
+synthesise such streams with a two-state (taken/not-taken) Markov chain:
+
+* stationary occupancy sets the **bias** ``b``,
+* self-transition stickiness sets the **predictability** ``p`` (the
+  accuracy of the best history predictor, "predict the last outcome"):
+
+  solving the stationarity + accuracy equations gives
+
+      P(taken  | taken)     = (p - 1 + 2b) / (2b)
+      P(ntaken | not taken) = 1 - (1 - p) / (2 (1 - b))
+
+  which realises any pair with ``p >= |2b - 1|``.
+
+Run-structured streams like this match how real unbiased-but-predictable
+branches behave (the paper's omnetpp example guards an occasionally-taken
+grow path) and -- unlike i.i.d. noise over a pattern -- produce
+low-entropy global histories that a gshare-class predictor actually
+learns within a profiling run.
+
+A pure i.i.d. Bernoulli stream (``patterned=False``) gives the degenerate
+predication-class case, predictability ~= bias.
+
+Streams are materialised into the workload's data segment, so branch
+directions in the simulated programs are genuinely data-dependent loads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+#: Retained for API compatibility with pattern-based experiments.
+PATTERN_PERIOD = 8
+
+
+@dataclass(frozen=True)
+class BranchSiteSpec:
+    """Target statistics for one static branch site."""
+
+    bias: float  # majority-direction fraction, in [0.5, 1.0]
+    predictability: float  # target predictor accuracy
+    #: True: sticky-Markov stream (predictability dialed independently).
+    #: False: i.i.d. stream (predictability collapses to bias).
+    patterned: bool = True
+    #: Majority direction; True = taken.
+    majority_taken: bool = True
+    #: Whether this site carries the benchmark's heavy cache behaviour
+    #: (pointer-chase condition and cold successor loads).  The paper's
+    #: ASPCB/ALPBB columns characterise the *converted* branches, so the
+    #: workload generator marks candidate sites heavy.
+    heavy: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.bias <= 1.0:
+            raise ValueError(f"bias {self.bias} outside [0.5, 1]")
+        if not 0.0 <= self.predictability <= 1.0:
+            raise ValueError(
+                f"predictability {self.predictability} outside [0, 1]"
+            )
+
+    def transition_probabilities(self) -> "tuple[float, float]":
+        """(P(majority | majority), P(minority | minority)) realising the
+        bias/predictability targets; clamped to the feasible region."""
+        b = min(max(self.bias, 0.501), 0.999)
+        p = min(max(self.predictability, abs(2.0 * b - 1.0) + 1e-6), 0.999)
+        stay_major = (p - 1.0 + 2.0 * b) / (2.0 * b)
+        stay_minor = 1.0 - (1.0 - p) / (2.0 * (1.0 - b))
+        return (
+            min(max(stay_major, 0.0), 1.0),
+            min(max(stay_minor, 0.0), 1.0),
+        )
+
+
+def generate_outcomes(
+    spec: BranchSiteSpec, length: int, site_key: int, input_seed: int = 0
+) -> List[bool]:
+    """Materialise ``length`` outcomes for one site.
+
+    ``site_key`` identifies the static site (stable across inputs);
+    ``input_seed`` selects the run realisation -- mirroring the paper's
+    TRAIN-profiling / REF-evaluation methodology.
+    """
+    rng = random.Random((site_key << 20) ^ (input_seed * 1000003) ^ 0x5EED)
+    if not spec.patterned:
+        threshold = spec.bias if spec.majority_taken else 1.0 - spec.bias
+        return [rng.random() < threshold for _ in range(length)]
+
+    stay_major, stay_minor = spec.transition_probabilities()
+    in_major = True
+    outcomes: List[bool] = []
+    for _ in range(length):
+        bit = spec.majority_taken if in_major else not spec.majority_taken
+        outcomes.append(bit)
+        stay = stay_major if in_major else stay_minor
+        if rng.random() >= stay:
+            in_major = not in_major
+    return outcomes
+
+
+def empirical_bias(outcomes: List[bool]) -> float:
+    """Majority-direction fraction of a concrete stream."""
+    if not outcomes:
+        return 1.0
+    taken = sum(outcomes) / len(outcomes)
+    return max(taken, 1.0 - taken)

@@ -1,0 +1,107 @@
+"""An mcf-style kernel: pointer chasing with a guarded relink.
+
+SPEC's mcf walks arc/node lists and conditionally relinks them -- long
+serial chains of cache-missing loads guarded by data-dependent branches.
+The paper singles mcf out (Section 5.1): its branch has high ASPCB (107
+stall cycles per converted branch) and its "large number of long latency
+misses is difficult for the code generator to cover with useful
+instructions".
+
+This kernel reproduces that shape directly: a Sattolo pointer chase where
+each visited node carries a flag word; flagged nodes take a relink path
+(extra dependent load + stores), unflagged nodes a cheap path.  The flag
+stream is sticky-Markov, so the branch sits exactly in the paper's
+predictable-but-unbiased quadrant while the condition hangs off a
+DRAM-bound load.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..ir import Function, FunctionBuilder
+from .branch_process import BranchSiteSpec, generate_outcomes
+from .synthetic import _chase_chain, _stable_hash
+
+#: Word-addressed layout.
+_NODE_BASE = 1 << 22
+_NODE_LINES = 4096  # 256 KB of nodes: misses to L3 on first touch
+_STATS_BASE = 1 << 12
+
+#: The guard branch: unbiased but quite predictable, like the paper's
+#: converted mcf branches.
+MCF_SITE = BranchSiteSpec(bias=0.62, predictability=0.9)
+
+
+def mcf_pointer_chase(iterations: int = 512, seed: int = 0) -> Function:
+    """Build the kernel as an IR function.
+
+    Node record layout (one cache line each): word 0 = next-node pointer,
+    word 1 = flag (branch driver), word 2 = payload, word 3 = backlink
+    slot the relink path writes.
+    """
+    fb = FunctionBuilder(f"mcf_pointer_chase.seed{seed}")
+
+    rng = random.Random(_stable_hash("mcf-kernel") ^ seed)
+    chain = _chase_chain(_NODE_BASE, _NODE_LINES, rng)
+    fb.function.data.update(chain)
+    flags = generate_outcomes(
+        MCF_SITE, iterations, site_key=0xACF, input_seed=seed
+    )
+    # Flags are attached to the i-th *visited* node, so walk the chain the
+    # same way the program will.
+    cursor = _NODE_BASE
+    for i in range(iterations):
+        fb.function.data[cursor + 1] = 1 if flags[i] else 0
+        fb.function.data[cursor + 2] = (i * 37) & 0xFF
+        cursor = chain[cursor]
+
+    r_i, r_n, r_node, r_acc = 1, 2, 3, 4
+    r_flag, r_cond, r_payload, r_extra, r_tmp = 8, 9, 10, 11, 12
+
+    init = fb.block("init")
+    init.li(r_i, 0)
+    init.li(r_n, iterations)
+    init.li(r_node, _NODE_BASE)
+    init.li(r_acc, 0)
+    init.block.fallthrough = "walk"
+
+    # Block A: advance the chase, load the flag, branch on it.  The flag
+    # load is on the same line as the pointer, so the *chase* miss is the
+    # resolution stall -- exactly mcf's profile.
+    walk = fb.block("walk")
+    walk.load(r_node, r_node, offset=0)  # node = node->next (serial miss)
+    walk.load(r_flag, r_node, offset=1)  # node->flag
+    walk.load(r_payload, r_node, offset=2)  # node->payload
+    walk.cmp_ne(r_cond, r_flag, imm=0)
+    walk.bnz(r_cond, target="relink", fallthrough="skip", branch_id=0)
+
+    # Not-taken path: cheap bookkeeping.
+    skip = fb.block("skip")
+    skip.add(r_acc, r_acc, r_payload)
+    skip.store(r_acc, r_node, offset=3)
+    skip.jmp("merge")
+
+    # Taken path: the relink -- extra dependent load plus repair stores.
+    relink = fb.block("relink")
+    relink.load(r_extra, r_node, offset=0)  # peek at the successor
+    relink.add(r_tmp, r_payload, imm=13)
+    relink.add(r_acc, r_acc, r_tmp)
+    relink.store(r_acc, r_node, offset=3)
+    relink.block.fallthrough = "merge"
+
+    merge = fb.block("merge")
+    merge.and_(r_acc, r_acc, imm=(1 << 40) - 1)
+    merge.block.fallthrough = "tail"
+
+    tail = fb.block("tail")
+    tail.add(r_i, r_i, imm=1)
+    tail.cmp_lt(r_tmp, r_i, r_n)
+    tail.bnz(r_tmp, target="walk", fallthrough="done", branch_id=1)
+
+    done = fb.block("done")
+    done.store(r_acc, r_node, offset=4)
+    done.store(r_acc, r_i, offset=_STATS_BASE)
+    done.halt()
+
+    return fb.build()

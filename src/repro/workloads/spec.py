@@ -1,0 +1,357 @@
+"""Per-SPEC-benchmark workload parameters.
+
+SPEC itself is licensed and the paper's binaries are unavailable, so each
+benchmark becomes a synthetic workload *calibrated to the paper's own
+characterisation of it*: Table 2's columns (PBC, ALPBB, PHI, MPPKI and the
+D-cache commentary of Sections 5.1/5.2) are the generator inputs, and the
+paper's SPD column is the measured output we compare against in
+EXPERIMENTS.md.  SPEC 2000 rows are parameterised from the paper's textual
+description (Sections 5.1-5.2), which gives PBC, predictability, and cache
+behaviour per benchmark.
+
+``paper`` fields carry the published values verbatim for reporting; the
+remaining fields drive :class:`repro.workloads.synthetic.WorkloadSpec`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .branch_process import BranchSiteSpec
+from .synthetic import WorkloadSpec, dynamic_instructions_per_iteration
+
+#: D-cache behaviour class -> (cold loads per successor block, reuse level).
+#: "low" keeps every payload load L1-resident; heavier classes add loads
+#: whose reuse distance steadily misses to L2, L3, or DRAM.
+_DCACHE_CLASS = {
+    "low": (0, "l2"),
+    "mid": (1, "l2"),
+    "high": (2, "l3"),
+    "huge": (2, "dram"),
+}
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The published Table 2 numbers (or text-derived estimates for
+    SPEC 2000, marked by ``from_text``)."""
+
+    spd: float  # % speedup, 4-wide geomean over REF inputs
+    pbc: float  # % static forward branches converted
+    pdih: float  # % dynamic instructions hoisted
+    alpbb: float  # avg loads per basic block
+    aspcb: float  # avg stall cycles per converted branch
+    phi: float  # % hoistable from succeeding block
+    mppki: float  # mispredicts per kilo-instruction
+    piscs: float  # % static code size increase
+    from_text: bool = False
+
+
+@dataclass(frozen=True)
+class BenchmarkDef:
+    """One benchmark: paper reference numbers + generator knobs."""
+
+    name: str
+    suite: str  # int2006 | fp2006 | int2000 | fp2000
+    paper: PaperRow
+    dcache: str  # key into _FOOTPRINT
+    #: Predictability of the candidate (unbiased-but-predictable) sites.
+    candidate_pred: float
+    n_sites: int = 12
+    inputs: int = 2
+
+    @property
+    def is_fp(self) -> bool:
+        return self.suite.startswith("fp")
+
+
+def _row(
+    spd, pbc, pdih, alpbb, aspcb, phi, mppki, piscs, from_text=False
+) -> PaperRow:
+    return PaperRow(spd, pbc, pdih, alpbb, aspcb, phi, mppki, piscs, from_text)
+
+
+# --------------------------- SPEC 2006 (Table 2) ---------------------------
+
+_SPEC2006_INT: List[BenchmarkDef] = [
+    BenchmarkDef("h264ref", "int2006", _row(23.1, 50.2, 11.8, 9.6, 21.6, 76.9, 6.7, 15.6), "low", 0.95),
+    BenchmarkDef("perlbench", "int2006", _row(18.4, 45.1, 12.7, 4.9, 23.0, 50.5, 1.6, 14.8), "low", 0.97),
+    BenchmarkDef("astar", "int2006", _row(16.3, 40.3, 14.6, 6.6, 21.51, 64.4, 13.6, 10.2), "low", 0.88),
+    BenchmarkDef("omnetpp", "int2006", _row(12.2, 23.0, 8.1, 2.5, 79.8, 80.3, 5.4, 12.1), "high", 0.94),
+    BenchmarkDef("xalancbmk", "int2006", _row(12.1, 24.7, 5.0, 1.7, 27.5, 72.4, 7.3, 9.6), "high", 0.93),
+    BenchmarkDef("sjeng", "int2006", _row(10.3, 25.6, 7.8, 3.2, 27.7, 60.0, 12.8, 10.6), "low", 0.88),
+    BenchmarkDef("gobmk", "int2006", _row(9.1, 14.4, 5.6, 3.4, 23.1, 84.1, 17.8, 9.6), "mid", 0.86),
+    BenchmarkDef("gcc", "int2006", _row(9.1, 23.6, 6.8, 2.3, 29.5, 68.7, 8.4, 10.0), "mid", 0.91),
+    BenchmarkDef("mcf", "int2006", _row(8.1, 32.6, 6.1, 6.0, 107.2, 73.8, 25.5, 6.8), "huge", 0.85),
+    BenchmarkDef("bzip2", "int2006", _row(7.7, 13.7, 3.5, 3.4, 26.3, 61.3, 6.5, 9.8), "mid", 0.92),
+    BenchmarkDef("hmmer", "int2006", _row(6.0, 10.3, 3.7, 12.2, 32.5, 97.8, 1.2, 9.5), "low", 0.97),
+    BenchmarkDef("libquantum", "int2006", _row(3.1, 10.7, 5.4, 0.8, 127.3, 78.1, 1.1, 10.4), "mid", 0.97),
+]
+
+_SPEC2006_FP: List[BenchmarkDef] = [
+    BenchmarkDef("wrf", "fp2006", _row(26.3, 22.2, 14.9, 6.1, 34.2, 69.0, 0.5, 10.2), "low", 0.98, n_sites=10),
+    BenchmarkDef("povray", "fp2006", _row(22.3, 26.5, 8.6, 3.0, 22.7, 84.8, 2.6, 9.7), "low", 0.97, n_sites=10),
+    BenchmarkDef("tonto", "fp2006", _row(11.1, 29.3, 9.2, 3.1, 17.1, 79.8, 4.4, 8.3), "low", 0.96, n_sites=10),
+    BenchmarkDef("gamess", "fp2006", _row(11.0, 44.1, 11.4, 3.5, 23.4, 54.0, 4.4, 14.6), "low", 0.96, n_sites=10),
+    BenchmarkDef("calculix", "fp2006", _row(10.4, 19.2, 4.14, 2.1, 23.7, 10.2, 7.7, 10.1), "low", 0.93, n_sites=10),
+    BenchmarkDef("milc", "fp2006", _row(7.7, 23.5, 12.8, 10.1, 32.8, 76.9, 1.3, 10.0), "mid", 0.98, n_sites=10),
+    BenchmarkDef("soplex", "fp2006", _row(7.2, 13.1, 4.3, 1.0, 37.5, 48.7, 5.5, 9.7), "mid", 0.94, n_sites=10),
+    BenchmarkDef("namd", "fp2006", _row(7.0, 23.2, 5.6, 2.4, 24.9, 94.2, 2.1, 10.3), "low", 0.97, n_sites=10),
+    BenchmarkDef("lbm", "fp2006", _row(6.6, 28.6, 16.6, 19.5, 55.6, 66.1, 0.2, 8.8), "mid", 0.99, n_sites=10),
+    BenchmarkDef("gromacs", "fp2006", _row(6.2, 21.8, 2.4, 4.1, 38.9, 88.3, 2.8, 10.4), "low", 0.96, n_sites=10),
+    BenchmarkDef("sphinx3", "fp2006", _row(4.4, 16.4, 2.4, 2.6, 39.9, 86.6, 4.9, 9.9), "mid", 0.95, n_sites=10),
+    BenchmarkDef("bwaves", "fp2006", _row(3.3, 27.9, 12.3, 9.2, 25.3, 8.8, 2.7, 11.5), "mid", 0.96, n_sites=10),
+    BenchmarkDef("GemsFDTD", "fp2006", _row(3.0, 9.4, 2.6, 3.2, 35.5, 67.8, 1.3, 10.4), "mid", 0.97, n_sites=10),
+    BenchmarkDef("zeusmp", "fp2006", _row(2.3, 21.7, 3.6, 14.7, 40.0, 84.9, 0.6, 11.3), "mid", 0.99, n_sites=10),
+    BenchmarkDef("dealII", "fp2006", _row(2.1, 11.0, 0.8, 2.5, 24.3, 10.9, 3.5, 8.1), "low", 0.95, n_sites=10),
+    BenchmarkDef("cactusADM", "fp2006", _row(1.4, 11.2, 0.2, 35.3, 23.6, 97.1, 0.5, 10.1), "mid", 0.99, n_sites=10),
+    BenchmarkDef("leslie3d", "fp2006", _row(1.0, 9.4, 1.0, 32.7, 46.0, 94.2, 0.4, 10.7), "mid", 0.99, n_sites=10),
+]
+
+# ------------------ SPEC 2000 (parameterised from Sections 5.1/5.2) ------------------
+
+_SPEC2000_INT: List[BenchmarkDef] = [
+    BenchmarkDef("vortex00", "int2000", _row(17.0, 28.0, 12.0, 4.0, 22.0, 70.0, 3.0, 12.0, True), "low", 0.96),
+    BenchmarkDef("crafty00", "int2000", _row(14.0, 24.0, 10.0, 3.5, 23.0, 68.0, 5.0, 11.0, True), "low", 0.95),
+    BenchmarkDef("eon00", "int2000", _row(13.5, 24.0, 10.0, 3.5, 22.0, 70.0, 3.5, 11.0, True), "low", 0.96),
+    BenchmarkDef("gap00", "int2000", _row(13.0, 23.0, 9.5, 3.5, 23.0, 66.0, 4.0, 11.0, True), "low", 0.95),
+    BenchmarkDef("parser00", "int2000", _row(12.5, 23.0, 9.0, 3.0, 24.0, 65.0, 5.5, 11.0, True), "low", 0.94),
+    BenchmarkDef("mcf00", "int2000", _row(12.0, 33.0, 4.5, 6.0, 90.0, 73.0, 14.0, 7.0, True), "huge", 0.90),
+    BenchmarkDef("gcc00", "int2000", _row(11.5, 24.0, 8.0, 2.5, 26.0, 68.0, 5.0, 10.0, True), "low", 0.95),
+    BenchmarkDef("perlbmk00", "int2000", _row(11.0, 20.0, 9.0, 4.0, 23.0, 60.0, 3.0, 12.0, True), "low", 0.96),
+    BenchmarkDef("gzip00", "int2000", _row(9.0, 22.0, 7.5, 3.5, 30.0, 62.0, 6.0, 10.0, True), "high", 0.93),
+    BenchmarkDef("bzip200", "int2000", _row(7.0, 14.0, 4.0, 3.4, 26.0, 61.0, 4.5, 9.5, True), "mid", 0.94),
+    BenchmarkDef("twolf00", "int2000", _row(4.5, 11.0, 3.5, 2.5, 33.0, 58.0, 9.0, 8.0, True), "mid", 0.90),
+    BenchmarkDef("vpr00", "int2000", _row(4.0, 11.0, 3.0, 2.5, 32.0, 56.0, 9.5, 8.0, True), "mid", 0.89),
+]
+
+_SPEC2000_FP: List[BenchmarkDef] = [
+    BenchmarkDef("art00", "fp2000", _row(20.0, 20.0, 11.0, 5.0, 35.0, 80.0, 1.5, 10.0, True), "mid", 0.98, n_sites=10),
+    BenchmarkDef("ammp00", "fp2000", _row(15.0, 19.0, 9.0, 4.0, 28.0, 78.0, 1.8, 10.0, True), "low", 0.97, n_sites=10),
+    BenchmarkDef("mesa00", "fp2000", _row(12.0, 18.0, 8.0, 3.5, 24.0, 75.0, 2.0, 10.0, True), "low", 0.97, n_sites=10),
+    BenchmarkDef("wupwise00", "fp2000", _row(7.0, 15.0, 6.0, 3.5, 25.0, 72.0, 1.0, 9.5, True), "low", 0.98, n_sites=10),
+    BenchmarkDef("facerec00", "fp2000", _row(6.5, 15.0, 5.5, 3.5, 27.0, 70.0, 1.5, 9.5, True), "low", 0.98, n_sites=10),
+    BenchmarkDef("equake00", "fp2000", _row(3.5, 10.0, 3.0, 3.0, 35.0, 65.0, 1.5, 9.0, True), "mid", 0.97, n_sites=10),
+    BenchmarkDef("applu00", "fp2000", _row(3.0, 10.0, 3.0, 4.0, 30.0, 70.0, 0.8, 9.0, True), "mid", 0.98, n_sites=10),
+    BenchmarkDef("swim00", "fp2000", _row(2.5, 10.0, 2.5, 5.0, 32.0, 72.0, 0.5, 9.0, True), "mid", 0.99, n_sites=10),
+    BenchmarkDef("mgrid00", "fp2000", _row(2.5, 10.0, 2.5, 4.5, 28.0, 74.0, 0.5, 9.0, True), "low", 0.99, n_sites=10),
+    BenchmarkDef("galgel00", "fp2000", _row(2.5, 10.0, 2.5, 3.5, 26.0, 70.0, 1.0, 9.0, True), "low", 0.98, n_sites=10),
+    BenchmarkDef("lucas00", "fp2000", _row(2.0, 9.0, 2.0, 3.5, 28.0, 68.0, 0.6, 9.0, True), "mid", 0.99, n_sites=10),
+    BenchmarkDef("fma3d00", "fp2000", _row(2.0, 10.0, 2.0, 3.0, 27.0, 66.0, 1.2, 9.0, True), "low", 0.97, n_sites=10),
+    BenchmarkDef("sixtrack00", "fp2000", _row(1.5, 9.0, 1.5, 3.0, 25.0, 64.0, 1.0, 9.0, True), "low", 0.98, n_sites=10),
+    BenchmarkDef("apsi00", "fp2000", _row(1.5, 10.0, 1.5, 3.0, 26.0, 64.0, 1.0, 9.0, True), "low", 0.98, n_sites=10),
+]
+
+BENCHMARKS: Dict[str, BenchmarkDef] = {
+    bench.name: bench
+    for bench in (
+        _SPEC2006_INT + _SPEC2006_FP + _SPEC2000_INT + _SPEC2000_FP
+    )
+}
+
+SUITES: Dict[str, List[str]] = {
+    "int2006": [b.name for b in _SPEC2006_INT],
+    "fp2006": [b.name for b in _SPEC2006_FP],
+    "int2000": [b.name for b in _SPEC2000_INT],
+    "fp2000": [b.name for b in _SPEC2000_FP],
+}
+
+
+def site_population(bench: BenchmarkDef) -> List[BranchSiteSpec]:
+    """Build the branch-site population for one benchmark.
+
+    Composition mirrors Figures 2/3: a high-bias head where bias and
+    predictability coincide (superblock-class), a candidate band whose
+    predictability exceeds its bias by well over 5% (decompose-class), and
+    a small unpredictable tail (predication-class).  The candidate fraction
+    tracks PBC; the noise level is then scaled so that the whole program's
+    expected misprediction rate lands near the paper's MPPKI.
+    """
+    rng = random.Random(sum(ord(c) for c in bench.name) * 9176)
+    n = bench.n_sites
+    candidate_count = max(1, round(bench.paper.pbc / 100.0 * n))
+    # Unpredictable (predication-class) sites scale with the benchmark's
+    # published misprediction rate, so heavy-MPPKI benchmarks (mcf,
+    # gobmk) pay realistic mispredict costs that dilute the win.
+    unpred_count = max(
+        0,
+        min(
+            n - candidate_count - 2,
+            max(1, round(n * bench.paper.mppki / 60.0)),
+        ),
+    )
+    biased_count = n - candidate_count - unpred_count
+
+    sites: List[BranchSiteSpec] = []
+    for k in range(biased_count):
+        # Keep superblock-class sites firmly above the 0.90 bias line so
+        # finite-sample noise plus input jitter cannot drift them into
+        # the decompose quadrant.
+        bias = 0.995 - 0.05 * (k / max(biased_count - 1, 1))
+        sites.append(
+            BranchSiteSpec(
+                bias=round(bias, 4),
+                predictability=min(0.995, bias + 0.02),
+                patterned=True,
+                majority_taken=bool(k % 3),
+                heavy=False,
+            )
+        )
+    for k in range(candidate_count):
+        span = k / max(candidate_count - 1, 1)
+        # The paper's decompose quadrant is the *low-biased* band; sticky
+        # chains above ~0.7 bias also mix too slowly to measure reliably
+        # in short profiling runs.
+        bias = 0.55 + 0.15 * span  # 0.55 (first candidates) up to 0.70
+        # Cap the chain's majority stickiness at ~0.96: beyond that, runs
+        # grow so long that the measured bias of a finite profiling run
+        # drifts far above the target.
+        pred = min(bench.candidate_pred, 1.0 - 0.08 * bias)
+        sites.append(
+            BranchSiteSpec(
+                bias=round(bias, 4),
+                predictability=round(pred, 4),
+                patterned=True,
+                majority_taken=bool(k % 2),
+                heavy=True,
+            )
+        )
+    for k in range(unpred_count):
+        bias = 0.55 + 0.05 * (k % 3)
+        sites.append(
+            BranchSiteSpec(
+                bias=round(bias, 4),
+                predictability=bias,  # i.i.d.: predictability == bias
+                patterned=False,
+                majority_taken=bool(k % 2),
+                heavy=False,
+            )
+        )
+    rng.shuffle(sites)
+    return sites
+
+
+def _scaled_to_mppki(
+    sites: List[BranchSiteSpec],
+    target_mppki: float,
+    instrs_per_iteration: int,
+    candidate_pred: float,
+) -> List[BranchSiteSpec]:
+    """Scale patterned-site noise so expected MPPKI approaches the target.
+
+    Candidate-class sites (low bias, dialed-up predictability) are floored
+    near their design predictability so heavy-MPPKI benchmarks keep a
+    selectable candidate population -- the paper's high-MPPKI benchmarks
+    (astar, gobmk, mcf) still convert 14-40% of their forward branches.
+    """
+    expected_misp = sum(1.0 - s.predictability for s in sites)
+    target_misp = target_mppki / 1000.0 * instrs_per_iteration
+    patterned_misp = sum(
+        1.0 - s.predictability for s in sites if s.patterned
+    )
+    fixed_misp = expected_misp - patterned_misp
+    if patterned_misp <= 0:
+        return sites
+    scale = max(0.0, (target_misp - fixed_misp)) / patterned_misp
+    scaled = []
+    for site in sites:
+        if not site.patterned:
+            scaled.append(site)
+            continue
+        pred = 1.0 - scale * (1.0 - site.predictability)
+        is_candidate = site.bias < 0.85
+        if is_candidate:
+            floor = max(site.bias + 0.07, site.predictability - 0.04)
+        else:
+            floor = site.bias + 0.01
+        pred = min(0.995, max(floor, pred))
+        scaled.append(
+            BranchSiteSpec(
+                bias=site.bias,
+                predictability=pred,
+                patterned=True,
+                majority_taken=site.majority_taken,
+                heavy=site.heavy,
+            )
+        )
+    return scaled
+
+
+def spec_benchmark(
+    name: str,
+    iterations: int = 600,
+    scale_noise_to_mppki: bool = True,
+) -> WorkloadSpec:
+    """The ready-to-build workload spec for one SPEC benchmark."""
+    if name not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; see repro.workloads.SUITES"
+        )
+    bench = BENCHMARKS[name]
+    row = bench.paper
+    loads_succ = max(1, min(7, round(row.alpbb)))
+    # ASPCB (resolution-stall cycles per converted branch) maps to the
+    # miss level of the dependence-only load threaded into the branch
+    # condition: long published stalls mean the compare waited on a
+    # cache-missing load.
+    if row.aspcb >= 70.0:
+        # DRAM-bound resolution only where the D-cache commentary backs
+        # it (mcf); elsewhere a long-published stall maps to L3.
+        cond_miss = "dram" if bench.dcache == "huge" else "l3"
+    elif row.aspcb >= 30.0:
+        cond_miss = "l3"
+    elif row.aspcb >= 25.0:
+        cond_miss = "l2"
+    else:
+        cond_miss = "none"
+    cold_loads, cold_level = _DCACHE_CLASS[bench.dcache]
+    # Hoistable-MLP gate: the paper attributes low speedups despite long
+    # stalls to having nothing to hoist (libquantum: ALPBB 0.8; leslie3d:
+    # PDIH 1.0).  PDIH/PBC approximates hoisted work per converted
+    # branch; below the gate the candidates' successor blocks carry no
+    # cold (long-latency) loads for the transformation to overlap.
+    hoist_volume = row.pdih / max(row.pbc, 1.0)
+    if (
+        row.alpbb < 2.0  # few loads per block (libquantum, xalancbmk)
+        or row.pdih < 3.0  # little gets hoisted (GemsFDTD, leslie3d...)
+        or row.phi < 20.0  # blocks barely hoistable (bwaves, calculix)
+    ):
+        cold_loads = 0
+    elif hoist_volume < 0.19:
+        # Thin hoisting per converted branch (mcf, zeusmp): the paper
+        # notes such misses are "difficult to cover with useful
+        # instructions" -- at most one long-latency load gets overlapped.
+        cold_loads = min(cold_loads, 1)
+    spec = WorkloadSpec(
+        name=bench.name,
+        suite=bench.suite,
+        sites=site_population(bench),
+        iterations=iterations,
+        loads_not_taken=loads_succ,
+        loads_taken=max(1, min(7, round(row.alpbb * 0.8))),
+        loads_cond_block=max(1, min(4, round(row.alpbb / 3.0))),
+        cold_loads_per_block=cold_loads,
+        cold_miss=cold_level,
+        alu_per_block=6 if bench.is_fp else 3,
+        hoist_barrier_frac=min(0.95, max(0.1, row.phi / 100.0)),
+        hoist_cap=max(1, min(12, round(row.pdih))),
+        cond_miss=cond_miss,
+        cond_chain=2 if row.aspcb >= 25.0 else 1,
+        fp_fraction=0.6 if bench.is_fp else 0.0,
+        inputs=bench.inputs,
+        bias_jitter=0.025,
+    )
+    if scale_noise_to_mppki:
+        instrs = dynamic_instructions_per_iteration(spec)
+        spec.sites = _scaled_to_mppki(
+            spec.sites, row.mppki, instrs, bench.candidate_pred
+        )
+    return spec
+
+
+def suite_benchmarks(suite: str) -> List[str]:
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}; one of {sorted(SUITES)}")
+    return list(SUITES[suite])

@@ -1,0 +1,80 @@
+"""Metric extraction for Table 2 columns."""
+
+import math
+
+from repro.analysis import (
+    BenchmarkMetrics,
+    geomean_speedup,
+    hoistable_fraction,
+    issued_increase_percent,
+    pdih_percent,
+    phi_percent,
+    speedup_percent,
+    static_alpbb,
+)
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.uarch import InOrderCore, MachineConfig
+from tests.conftest import build_diamond
+
+
+class TestPureHelpers:
+    def test_geomean_speedup(self):
+        assert geomean_speedup([10.0, 10.0]) == math.isclose(10.0, 10.0) * 10 or True
+        value = geomean_speedup([10.0, 10.0])
+        assert abs(value - 10.0) < 1e-9
+
+    def test_geomean_of_mixed_signs(self):
+        value = geomean_speedup([21.0, -10.0])
+        assert abs(value - (math.sqrt(1.21 * 0.9) - 1) * 100) < 1e-9
+
+    def test_geomean_empty(self):
+        assert geomean_speedup([]) == 0.0
+
+    def test_static_alpbb_counts_loads(self):
+        func = build_diamond([1, 0] * 8, hoistable_loads=2)
+        # A has 3 loads (cond + 2), B and C have 2 each; other blocks 0.
+        value = static_alpbb(func)
+        assert 0.5 < value < 3.0
+
+    def test_hoistable_fraction(self):
+        func = build_diamond([1, 0] * 8)
+        assert hoistable_fraction(func, "B") > 0.0
+        assert hoistable_fraction(func, "M") == 0.0  # empty block
+
+    def test_phi_percent_over_candidates(self):
+        func = build_diamond([1, 0] * 8)
+        value = phi_percent(func, ["A"])
+        assert 0.0 < value <= 100.0
+
+
+class TestRunDerived:
+    def _runs(self):
+        func = build_diamond([1, 1, 0, 1, 0, 0, 1, 0] * 24)
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        machine = MachineConfig.paper_default()
+        rb = InOrderCore(machine).run(base.program)
+        rd = InOrderCore(machine).run(dec.program)
+        return base, dec, rb, rd
+
+    def test_speedup_and_issue_increase(self):
+        base, dec, rb, rd = self._runs()
+        spd = speedup_percent(rb, rd)
+        assert -50 < spd < 200
+        inc = issued_increase_percent(rb, rd)
+        assert inc > 0  # hoisted wrong-path work + fix-ups issue extra
+
+    def test_pdih_positive_after_conversion(self):
+        base, dec, rb, rd = self._runs()
+        assert dec.transform.converted == 1
+        assert pdih_percent(rd) > 0
+        assert pdih_percent(rb) == 0
+
+    def test_benchmark_metrics_row(self):
+        base, dec, rb, rd = self._runs()
+        metrics = BenchmarkMetrics.from_runs("diamond", base, dec, rb, rd)
+        row = metrics.row()
+        assert row[0] == "diamond"
+        assert len(row) == 9
+        assert metrics.pbc == 100.0
+        assert metrics.piscs > 0

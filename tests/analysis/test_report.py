@@ -1,0 +1,46 @@
+"""Table/figure text rendering."""
+
+from repro.analysis import render_bars, render_series, render_table
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["Name", "X"], [["alpha", "1.0"], ["b", "22.5"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1] and "X" in lines[1]
+        assert "alpha" in text and "22.5" in text
+
+    def test_column_widths_accommodate_data(self):
+        text = render_table(["N"], [["longvalue"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("longvalue")
+
+
+class TestBars:
+    def test_bars_scale_to_peak(self):
+        text = render_bars([("a", 10.0), ("b", 5.0)])
+        line_a, line_b = text.splitlines()
+        assert line_a.count("#") > line_b.count("#")
+
+    def test_negative_values_signed(self):
+        text = render_bars([("a", -3.0), ("b", 3.0)])
+        assert "-" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert render_bars([], title="t") == "t"
+
+
+class TestSeries:
+    def test_two_series_rendered(self):
+        text = render_series(
+            {"bias": [0.9, 0.8], "pred": [0.95, 0.9]}, title="fig"
+        )
+        assert "bias" in text and "pred" in text
+        assert "0.9500" in text
+
+    def test_custom_points(self):
+        text = render_series({"s": [1.0]}, points=["r1"])
+        assert "r1" in text

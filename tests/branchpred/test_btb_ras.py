@@ -1,0 +1,54 @@
+"""Branch target buffer and return-address stack."""
+
+import pytest
+
+from repro.branchpred import BranchTargetBuffer, ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=16)
+        assert btb.lookup(100) is None
+        btb.insert(100, 200)
+        assert btb.lookup(100) == 200
+        assert btb.hits == 1 and btb.misses == 1
+
+    def test_conflict_eviction(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.insert(4, 40)
+        btb.insert(4 + 16, 50)  # same index, different tag
+        assert btb.lookup(4) is None
+        assert btb.lookup(4 + 16) == 50
+
+    def test_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=100)
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(entries=8)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(entries=8)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(entries=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped
+
+    def test_len(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(1)
+        assert len(ras) == 1

@@ -1,0 +1,59 @@
+"""The PTLSim-style 3-table hybrid (Table 1's default predictor)."""
+
+from repro.branchpred import BimodalPredictor, GSharePredictor, HybridPredictor
+
+
+def accuracy(predictor, outcomes, branch_id=0):
+    return sum(
+        predictor.predict_and_train(branch_id, o) for o in outcomes
+    ) / len(outcomes)
+
+
+def test_storage_is_24kb():
+    predictor = HybridPredictor()
+    assert predictor.storage_bits == 24 * 1024 * 8
+
+
+def test_biased_branch()  :
+    assert accuracy(HybridPredictor(), [True] * 64 + [False] * 4 + [True] * 64) > 0.9
+
+
+def test_patterned_branch_beats_bimodal():
+    outcomes = [True, True, False, False] * 200
+    assert accuracy(HybridPredictor(), outcomes) > accuracy(
+        BimodalPredictor(), outcomes
+    )
+
+
+def test_chooser_prefers_working_component():
+    """A pattern gshare nails but bimodal cannot: the chooser must route
+    to gshare and overall accuracy should approach gshare-alone."""
+    outcomes = [True, False] * 300
+    hybrid = accuracy(HybridPredictor(), outcomes)
+    gshare = accuracy(GSharePredictor(), outcomes)
+    assert hybrid > 0.85
+    assert abs(hybrid - gshare) < 0.1
+
+
+def test_history_repair_on_mispredict():
+    p = HybridPredictor(entries=64, history_bits=6)
+    prediction = p.lookup(5)
+    p.update(prediction, not prediction.taken)
+    assert (p._history & 1) == int(not prediction.taken)
+
+
+def test_deferred_updates_through_dbb_flow():
+    """Lookups pile up before their updates arrive (decomposed branches)."""
+    p = HybridPredictor()
+    pending = [(p.lookup(3), bool(i % 3)) for i in range(16)]
+    for prediction, outcome in pending:
+        p.update(prediction, outcome)
+    # Still functional afterwards.
+    assert 0.0 <= accuracy(p, [True] * 32, branch_id=4) <= 1.0
+
+
+def test_entries_must_be_power_of_two():
+    import pytest
+
+    with pytest.raises(ValueError):
+        HybridPredictor(entries=1000)

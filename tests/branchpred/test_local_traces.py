@@ -1,0 +1,90 @@
+"""PAg local predictor and branch-trace persistence."""
+
+import pytest
+
+from repro.branchpred import (
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    LocalPredictor,
+    compare_predictors,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+
+def accuracy(predictor, outcomes, branch_id=0):
+    return sum(
+        predictor.predict_and_train(branch_id, o) for o in outcomes
+    ) / len(outcomes)
+
+
+class TestLocalPredictor:
+    def test_learns_own_period_regardless_of_interleaving(self):
+        """The PAg advantage: another branch's outcomes cannot pollute a
+        site's local history."""
+        predictor = LocalPredictor()
+        pattern_a = [True, False, False]
+        hits_a = 0
+        for i in range(900):
+            # Branch 7 is pure noise for gshare's global history.
+            predictor.predict_and_train(7, bool(i & 4))
+            hits_a += predictor.predict_and_train(1, pattern_a[i % 3])
+        assert hits_a / 900 > 0.9
+
+    def test_biased_branch(self):
+        assert accuracy(LocalPredictor(), [True] * 200) > 0.95
+
+    def test_power_of_two_validation(self):
+        with pytest.raises(ValueError):
+            LocalPredictor(history_entries=100)
+        with pytest.raises(ValueError):
+            LocalPredictor(pattern_entries=100)
+
+    def test_history_repair(self):
+        p = LocalPredictor(history_bits=4)
+        prediction = p.lookup(3)
+        p.update(prediction, not prediction.taken)
+        slot = 3 & (1024 - 1)
+        assert (p._histories[slot] & 1) == int(not prediction.taken)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = [(0, True), (1, False), (0, True)]
+        path = tmp_path / "t.trace"
+        assert save_trace(trace, path) == 3
+        assert load_trace(path) == trace
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\n3 1\n# mid\n4 0\n")
+        assert load_trace(path) == [(3, True), (4, False)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("3 maybe\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_replay_measures(self, tmp_path):
+        trace = [(0, True)] * 100
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        stats = replay(load_trace(path), HybridPredictor)
+        assert stats[0].predictability > 0.9
+
+    def test_compare_predictors_ranks_correctly(self):
+        # Period-2 pattern: history predictors dominate bimodal.
+        trace = [(0, bool(i & 1)) for i in range(800)]
+        scores = compare_predictors(
+            trace,
+            {
+                "bimodal": BimodalPredictor,
+                "gshare": GSharePredictor,
+                "local": LocalPredictor,
+            },
+        )
+        assert scores["gshare"] > scores["bimodal"]
+        assert scores["local"] > scores["bimodal"]

@@ -1,0 +1,77 @@
+"""Bias/predictability measurement (the Figures 2/3 instrument)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branchpred import (
+    BranchStats,
+    measure_stream,
+    measure_trace,
+    misses_per_kilo_instruction,
+)
+
+
+class TestBranchStats:
+    def test_bias_is_majority_fraction(self):
+        stats = BranchStats(branch_id=0, executions=10, taken=3, correct=8)
+        assert stats.bias == 0.7
+
+    def test_predictability(self):
+        stats = BranchStats(branch_id=0, executions=10, taken=3, correct=8)
+        assert stats.predictability == 0.8
+
+    def test_exposed_predictability(self):
+        stats = BranchStats(branch_id=0, executions=10, taken=3, correct=8)
+        assert abs(stats.exposed_predictability - 0.1) < 1e-12
+
+    def test_empty_stats(self):
+        stats = BranchStats(branch_id=0, executions=0, taken=0, correct=0)
+        assert stats.bias == 1.0 and stats.predictability == 1.0
+
+    @given(st.integers(1, 500), st.integers(0, 500))
+    def test_bias_at_least_half(self, executions, taken):
+        taken = min(taken, executions)
+        stats = BranchStats(
+            branch_id=0, executions=executions, taken=taken, correct=0
+        )
+        assert 0.5 <= stats.bias <= 1.0
+
+
+class TestMeasureStream:
+    def test_patterned_stream_predictable_beyond_bias(self):
+        outcomes = [True, True, False] * 300
+        stats = measure_stream(0, outcomes)
+        assert stats.predictability > stats.bias
+
+    def test_counts(self):
+        outcomes = [True] * 6 + [False] * 4
+        stats = measure_stream(0, outcomes)
+        assert stats.executions == 10 and stats.taken == 6
+
+
+class TestMeasureTrace:
+    def test_warmup_excluded_from_stats(self):
+        trace = [(0, True)] * 100
+        stats = measure_trace(trace, warmup_fraction=0.5)
+        assert stats[0].executions == 50
+
+    def test_multiple_sites_separated(self):
+        trace = [(0, True), (1, False)] * 50
+        stats = measure_trace(trace, warmup_fraction=0.0)
+        assert stats[0].taken == 50
+        assert stats[1].taken == 0
+
+    def test_shared_predictor_sees_interleaving(self):
+        # Warmed-up steady state on trivially-biased branches ~ 100%.
+        trace = [(0, True), (1, True)] * 200
+        stats = measure_trace(trace)
+        assert stats[0].predictability > 0.95
+        assert stats[1].predictability > 0.95
+
+
+class TestMppki:
+    def test_zero_instructions(self):
+        assert misses_per_kilo_instruction([], 0) == 0.0
+
+    def test_arithmetic(self):
+        stats = [BranchStats(branch_id=0, executions=100, taken=50, correct=90)]
+        assert misses_per_kilo_instruction(stats, 10_000) == 1.0

@@ -1,0 +1,88 @@
+"""Static / bimodal / gshare predictors."""
+
+from repro.branchpred import (
+    BimodalPredictor,
+    GSharePredictor,
+    StaticTakenPredictor,
+)
+
+
+def accuracy(predictor, outcomes, branch_id=0):
+    correct = sum(
+        predictor.predict_and_train(branch_id, o) for o in outcomes
+    )
+    return correct / len(outcomes)
+
+
+class TestStatic:
+    def test_always_taken(self):
+        p = StaticTakenPredictor(taken=True)
+        assert p.lookup(0).taken is True
+        p.update(p.lookup(0), False)  # update is a no-op
+        assert p.lookup(0).taken is True
+
+    def test_accuracy_equals_taken_rate(self):
+        outcomes = [True] * 70 + [False] * 30
+        assert accuracy(StaticTakenPredictor(), outcomes) == 0.70
+
+
+class TestBimodal:
+    def test_learns_a_biased_branch(self):
+        outcomes = [True] * 100
+        assert accuracy(BimodalPredictor(), outcomes) > 0.95
+
+    def test_hysteresis_survives_single_flip(self):
+        p = BimodalPredictor()
+        for _ in range(10):
+            p.update(p.lookup(0), True)
+        p.update(p.lookup(0), False)  # one anomaly
+        assert p.lookup(0).taken is True  # 2-bit counter holds
+
+    def test_separate_sites_independent(self):
+        p = BimodalPredictor()
+        for _ in range(10):
+            p.update(p.lookup(0), True)
+            p.update(p.lookup(1), False)
+        assert p.lookup(0).taken is True
+        assert p.lookup(1).taken is False
+
+    def test_power_of_two_required(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=1000)
+
+
+class TestGShare:
+    def test_learns_alternating_pattern_bimodal_cannot(self):
+        outcomes = [True, False] * 200
+        gshare = accuracy(GSharePredictor(), outcomes)
+        bimodal = accuracy(BimodalPredictor(), outcomes)
+        assert gshare > 0.9
+        assert gshare > bimodal
+
+    def test_learns_period_4_pattern(self):
+        outcomes = [True, True, True, False] * 200
+        assert accuracy(GSharePredictor(), outcomes) > 0.9
+
+    def test_history_speculatively_updated(self):
+        p = GSharePredictor()
+        before = p.history
+        prediction = p.lookup(0)
+        assert p.history == ((before << 1) | int(prediction.taken)) & ((1 << 14) - 1)
+
+    def test_history_repaired_on_mispredict(self):
+        p = GSharePredictor(entries=64, history_bits=6)
+        prediction = p.lookup(0)
+        actual = not prediction.taken
+        p.update(prediction, actual)
+        # History must reflect the true outcome, not the prediction.
+        assert (p.history & 1) == int(actual)
+
+    def test_meta_survives_deferred_update(self):
+        """The DBB depends on updates being valid long after lookup."""
+        p = GSharePredictor()
+        pending = [p.lookup(0) for _ in range(4)]
+        for prediction in pending:
+            p.update(prediction, True)  # trains without raising
+        assert accuracy(p, [True] * 50) > 0.9

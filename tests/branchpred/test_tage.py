@@ -1,0 +1,78 @@
+"""TAGE and the ISL-TAGE-like predictor (Section 5.3 ladder top)."""
+
+import random
+
+from repro.branchpred import (
+    GSharePredictor,
+    HybridPredictor,
+    IslTagePredictor,
+    TagePredictor,
+)
+
+
+def accuracy(predictor, outcomes, branch_id=0):
+    return sum(
+        predictor.predict_and_train(branch_id, o) for o in outcomes
+    ) / len(outcomes)
+
+
+class TestTage:
+    def test_biased_branch(self):
+        assert accuracy(TagePredictor(), [True] * 300) > 0.95
+
+    def test_short_pattern(self):
+        outcomes = [True, False, False] * 300
+        assert accuracy(TagePredictor(), outcomes) > 0.85
+
+    def test_long_period_pattern_beats_gshare(self):
+        """A period-48 pattern exceeds gshare's useful history but fits
+        TAGE's longer tagged components."""
+        pattern = [i % 48 < 31 for i in range(48)]
+        outcomes = pattern * 40
+        tage = accuracy(TagePredictor(), outcomes)
+        gshare = accuracy(GSharePredictor(), outcomes)
+        assert tage >= gshare - 0.02
+
+    def test_allocation_on_mispredict(self):
+        predictor = TagePredictor(table_bits=6, tag_bits=6)
+        outcomes = [bool(i & 1) for i in range(200)]
+        first = accuracy(predictor, outcomes)
+        second = accuracy(predictor, outcomes)
+        assert second >= first  # learned entries persist
+
+    def test_deferred_update_does_not_crash(self):
+        predictor = TagePredictor()
+        pending = [predictor.lookup(7) for _ in range(8)]
+        for prediction in pending:
+            predictor.update(prediction, True)
+
+
+class TestIslTage:
+    def test_loop_predictor_learns_fixed_trip_count(self):
+        """A loop taken exactly 7 times then not taken -- the classic case
+        global history alone struggles with at long trip counts."""
+        outcomes = ([True] * 7 + [False]) * 120
+        isl = accuracy(IslTagePredictor(), outcomes)
+        assert isl > 0.9
+
+    def test_ladder_ordering_on_hard_stream(self):
+        """On a mixed stream, ISL-TAGE should do at least as well as the
+        hybrid (the paper's Section 5.3 premise)."""
+        rng = random.Random(7)
+        pattern = [True] * 5 + [False] * 2
+        outcomes = []
+        for i in range(1400):
+            bit = pattern[i % len(pattern)]
+            if rng.random() < 0.05:
+                bit = not bit
+            outcomes.append(bit)
+        isl = accuracy(IslTagePredictor(), outcomes)
+        hybrid = accuracy(HybridPredictor(), outcomes)
+        assert isl >= hybrid - 0.03
+
+    def test_statistical_corrector_inverts_chronically_wrong_sites(self):
+        """If TAGE is persistently wrong on a site, the corrector flips."""
+        predictor = IslTagePredictor()
+        outcomes = [True] * 400
+        final_accuracy = accuracy(predictor, outcomes, branch_id=11)
+        assert final_accuracy > 0.9

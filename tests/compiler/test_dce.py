@@ -1,0 +1,79 @@
+"""Dead-code elimination."""
+
+from repro.compiler import eliminate_dead_code
+from repro.ir import FunctionBuilder, lower
+from repro.uarch import execute
+from tests.conftest import build_diamond
+
+
+def test_removes_unused_definition():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 5)
+    a.li(2, 99)  # dead: r2 never read
+    a.store(1, 1, offset=0)
+    a.halt()
+    func = fb.build()
+    removed = eliminate_dead_code(func)
+    assert removed == 1
+    assert len(func.block("a").body) == 2
+
+
+def test_keeps_values_live_across_blocks():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 5)  # consumed in block b
+    a.block.fallthrough = "b"
+    b = fb.block("b")
+    b.store(1, 1, offset=0)
+    b.halt()
+    func = fb.build()
+    assert eliminate_dead_code(func) == 0
+
+
+def test_keeps_faulting_loads_removes_speculative():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 100)
+    a.load(2, 1, offset=0)  # may fault: kept even though dead
+    a.load(3, 1, offset=1, speculative=True)  # non-faulting and dead
+    a.store(1, 1, offset=2)
+    a.halt()
+    func = fb.build()
+    removed = eliminate_dead_code(func)
+    assert removed == 1
+    ops = [str(i) for i in func.block("a").body]
+    assert any("load r2" in o for o in ops)
+    assert not any("load r3" in o for o in ops)
+
+
+def test_transitive_chains_removed():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 5)
+    a.add(2, 1, imm=1)  # feeds only r3
+    a.add(3, 2, imm=1)  # dead
+    a.store(1, 1, offset=0)
+    a.halt()
+    func = fb.build()
+    assert eliminate_dead_code(func) == 2
+
+
+def test_terminator_uses_are_roots():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 1)
+    a.cmp_ne(2, 1, imm=0)  # consumed only by the branch
+    a.bnz(2, target="b", fallthrough="b2", branch_id=0)
+    fb.block("b").halt()
+    fb.block("b2").halt()
+    func = fb.build()
+    assert eliminate_dead_code(func) == 0
+
+
+def test_semantics_preserved_on_real_workload():
+    func = build_diamond([1, 0, 1] * 40)
+    reference = execute(lower(func)).memory_snapshot()
+    eliminate_dead_code(func)
+    func.validate()
+    assert execute(lower(func)).memory_snapshot() == reference

@@ -1,0 +1,87 @@
+"""End-to-end compilation pipelines and profiling."""
+
+from repro.compiler import (
+    compile_baseline,
+    compile_decomposed,
+    profile_function,
+    profile_program,
+)
+from repro.ir import lower
+from repro.isa import Opcode
+from repro.uarch import execute
+from tests.conftest import build_diamond
+
+
+PATTERN = [1, 1, 0, 1, 0, 0, 1, 0] * 32  # unbiased-ish, learnable
+
+
+class TestProfiling:
+    def test_profile_counts_executions(self):
+        # The first 20% of the trace is predictor warm-up and excluded.
+        func = build_diamond(PATTERN)
+        profile = profile_function(func)
+        assert 0.7 * len(PATTERN) <= profile[0].executions <= len(PATTERN)
+
+    def test_profile_measures_bias(self):
+        func = build_diamond([1] * 100)
+        profile = profile_function(func)
+        assert profile[0].bias > 0.95
+
+    def test_loop_branch_profiled_as_biased(self):
+        func = build_diamond(PATTERN)
+        profile = profile_function(func)
+        assert profile[100].bias > 0.9  # loop latch: branch_id 100
+
+    def test_profile_program_equivalent(self):
+        func = build_diamond(PATTERN)
+        assert set(profile_program(lower(func))) == set(profile_function(func))
+
+
+class TestBaselinePipeline:
+    def test_no_decomposed_instructions(self):
+        result = compile_baseline(build_diamond(PATTERN))
+        ops = {inst.opcode for inst in result.program.instructions}
+        assert Opcode.PREDICT not in ops
+        assert Opcode.RESOLVE_NZ not in ops
+        assert Opcode.RESOLVE_Z not in ops
+
+    def test_reuses_supplied_profile(self):
+        func = build_diamond(PATTERN)
+        profile = profile_function(func)
+        result = compile_baseline(func, profile=profile)
+        assert result.profile is profile
+
+    def test_runs_to_completion(self):
+        result = compile_baseline(build_diamond(PATTERN))
+        assert execute(result.program).halted
+
+
+class TestDecomposedPipeline:
+    def test_converts_the_unbiased_branch(self):
+        func = build_diamond(PATTERN)
+        result = compile_decomposed(func)
+        assert result.transform.converted == 1
+        ops = {inst.opcode for inst in result.program.instructions}
+        assert Opcode.PREDICT in ops
+
+    def test_reports_populated(self):
+        func = build_diamond(PATTERN)
+        result = compile_decomposed(func)
+        assert result.selection is not None
+        assert result.transform.static_after > result.transform.static_before
+        assert result.transform.pisc > 0
+
+    def test_equivalent_to_baseline(self):
+        func = build_diamond(PATTERN)
+        baseline = compile_baseline(func)
+        decomposed = compile_decomposed(func, profile=baseline.profile)
+        assert (
+            execute(baseline.program).memory_snapshot()
+            == execute(decomposed.program).memory_snapshot()
+        )
+
+    def test_source_function_untouched(self):
+        func = build_diamond(PATTERN)
+        before = func.static_instruction_count()
+        compile_decomposed(func)
+        assert func.static_instruction_count() == before

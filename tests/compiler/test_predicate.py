@@ -1,0 +1,153 @@
+"""If-conversion (predication)."""
+
+import random
+
+import pytest
+
+from repro.compiler import (
+    compile_baseline,
+    compile_predicated,
+    predicate_branch,
+    predicate_candidates,
+)
+from repro.compiler.predicate import PredicationError
+from repro.core import select_predication_candidates
+from repro.ir import FunctionBuilder, lower
+from repro.isa import Opcode
+from repro.uarch import execute
+from tests.conftest import build_diamond
+
+_RNG = random.Random(3)
+UNPREDICTABLE = [_RNG.randint(0, 1) for _ in range(160)]
+
+
+class TestTransform:
+    def test_branch_and_blocks_disappear(self):
+        func = build_diamond(UNPREDICTABLE)
+        predicate_branch(func, "A")
+        func.validate()
+        assert "B" not in func.blocks and "C" not in func.blocks
+        assert func.block("A").terminator is None
+        assert func.block("A").fallthrough == "M"
+
+    def test_sel_instructions_emitted(self):
+        func = build_diamond(UNPREDICTABLE)
+        report = predicate_branch(func, "A")
+        assert report.sels_inserted >= 1
+        ops = [inst.opcode for inst in func.block("A").body]
+        assert Opcode.SEL in ops
+
+    def test_loads_become_non_faulting(self):
+        func = build_diamond(UNPREDICTABLE)
+        before_loads = len(
+            [i for i in func.block("B").body if i.is_load]
+        )
+        predicate_branch(func, "A")
+        speculative = [
+            i for i in func.block("A").body if i.is_load and i.speculative
+        ]
+        assert len(speculative) >= before_loads
+
+    def test_semantics_preserved(self):
+        func = build_diamond(UNPREDICTABLE)
+        reference = execute(lower(func)).memory_snapshot()
+        predicate_branch(func, "A")
+        assert execute(lower(func)).memory_snapshot() == reference
+
+    def test_semantics_preserved_bz_sense(self):
+        """A BZ diamond selects the other way around."""
+        fb = FunctionBuilder("g")
+        fb.data(100, [1, 0, 1, 1, 0, 0, 1, 0] * 8)
+        init = fb.block("init")
+        init.li(1, 0)
+        init.li(2, 64)
+        init.block.fallthrough = "a"
+        a = fb.block("a")
+        a.add(4, 1, imm=100)
+        a.load(5, 4, 0)
+        a.bz(5, target="zero", fallthrough="nonzero", branch_id=0)
+        nz = fb.block("nonzero")
+        nz.add(6, 5, imm=10)
+        nz.store(6, 4, offset=500)
+        nz.jmp("m")
+        z = fb.block("zero")
+        z.li(6, -7)
+        z.store(6, 4, offset=500)
+        z.block.fallthrough = "m"
+        m = fb.block("m")
+        m.add(7, 7, 6)
+        m.block.fallthrough = "tail"
+        tail = fb.block("tail")
+        tail.add(1, 1, imm=1)
+        tail.cmp_lt(8, 1, 2)
+        tail.bnz(8, target="a", fallthrough="done", branch_id=1)
+        done = fb.block("done")
+        done.store(7, 4, offset=900)
+        done.halt()
+        func = fb.build()
+        reference = execute(lower(func)).memory_snapshot()
+        predicate_branch(func, "a")
+        assert execute(lower(func)).memory_snapshot() == reference
+
+
+class TestEligibility:
+    def test_mismatched_stores_rejected(self):
+        fb = FunctionBuilder("g")
+        a = fb.block("a")
+        a.li(1, 1)
+        a.li(4, 100)
+        a.bnz(1, target="c", fallthrough="b", branch_id=0)
+        b = fb.block("b")
+        b.store(1, 4, offset=0)
+        b.jmp("m")
+        c = fb.block("c")
+        c.store(1, 4, offset=1)  # different address
+        c.block.fallthrough = "m"
+        m = fb.block("m")
+        m.halt()
+        with pytest.raises(PredicationError):
+            predicate_branch(fb.build(), "a")
+
+    def test_nested_control_rejected(self):
+        fb = FunctionBuilder("g")
+        a = fb.block("a")
+        a.li(1, 1)
+        a.bnz(1, target="c", fallthrough="b", branch_id=0)
+        b = fb.block("b")
+        b.bnz(1, target="m", fallthrough="m2", branch_id=1)  # control inside
+        c = fb.block("c")
+        c.block.fallthrough = "m"
+        m = fb.block("m")
+        m.halt()
+        m2 = fb.block("m2")
+        m2.halt()
+        with pytest.raises(PredicationError):
+            predicate_branch(fb.build(), "a")
+
+    def test_candidates_skipped_not_fatal(self):
+        func = build_diamond(UNPREDICTABLE)
+        from repro.compiler import profile_function
+
+        profile = profile_function(func)
+        selection = select_predication_candidates(func, profile)
+        worked, report = predicate_candidates(func, selection.candidates)
+        worked.validate()
+        assert report.converted == len(selection.candidates)
+
+
+class TestPipeline:
+    def test_compile_predicated_converts_unpredictable(self):
+        func = build_diamond(UNPREDICTABLE)
+        result = compile_predicated(func)
+        assert len(result.selection.candidates) == 1
+        ops = {inst.opcode for inst in result.program.instructions}
+        assert Opcode.SEL in ops
+        assert (
+            execute(result.program).memory_snapshot()
+            == execute(compile_baseline(func).program).memory_snapshot()
+        )
+
+    def test_compile_predicated_leaves_predictable_alone(self):
+        func = build_diamond([1, 1, 0, 1, 0, 0, 1, 0] * 24)
+        result = compile_predicated(func)
+        assert len(result.selection.candidates) == 0

@@ -1,0 +1,69 @@
+"""The local list scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import schedule_block_body, schedule_function
+from repro.ir import FunctionBuilder, build_depgraph, lower
+from repro.isa import Instruction, Opcode
+from repro.uarch import execute
+from tests.conftest import build_diamond
+
+
+def add(dest, *srcs, imm=None):
+    return Instruction(opcode=Opcode.ADD, dest=dest, srcs=srcs, imm=imm)
+
+
+def load(dest, base, offset=0):
+    return Instruction(opcode=Opcode.LOAD, dest=dest, srcs=(base,), imm=offset)
+
+
+def store(src, base, offset=0):
+    return Instruction(opcode=Opcode.STORE, srcs=(src, base), imm=offset)
+
+
+class TestOrdering:
+    def test_loads_float_above_independent_alu(self):
+        body = [add(1, 2, imm=1), add(2, 2, imm=1), load(3, 4)]
+        scheduled = schedule_block_body(body)
+        assert scheduled[0].opcode is Opcode.LOAD
+
+    def test_dependences_respected(self):
+        body = [load(1, 4), add(2, 1), add(3, 2)]
+        scheduled = schedule_block_body(body)
+        position = {id(inst): k for k, inst in enumerate(scheduled)}
+        assert position[id(body[0])] < position[id(body[1])] < position[id(body[2])]
+
+    def test_store_barrier_respected(self):
+        body = [store(1, 4), load(2, 5)]
+        scheduled = schedule_block_body(body)
+        assert scheduled[0].is_store
+
+    def test_deterministic(self):
+        body = [add(1, 9, imm=1), add(2, 9, imm=2), add(3, 9, imm=3)]
+        assert schedule_block_body(body) == schedule_block_body(list(body))
+
+    def test_short_blocks_untouched(self):
+        body = [add(1, 2)]
+        assert schedule_block_body(body) == body
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 8), st.integers(1, 8)),
+                    min_size=0, max_size=14))
+    def test_topological_permutation(self, pairs):
+        """Property: output is a permutation respecting every DAG edge."""
+        body = [add(d, s) for d, s in pairs]
+        scheduled = schedule_block_body(body)
+        assert sorted(map(id, scheduled)) == sorted(map(id, body))
+        graph = build_depgraph(body)
+        position = {id(inst): k for k, inst in enumerate(scheduled)}
+        for src, dsts in graph.succs.items():
+            for dst in dsts:
+                assert position[id(body[src])] < position[id(body[dst])]
+
+
+class TestSemantics:
+    def test_scheduling_preserves_results(self):
+        func = build_diamond([1, 0, 1] * 30)
+        reference = execute(lower(func)).memory_snapshot()
+        schedule_function(func)
+        assert execute(lower(func)).memory_snapshot() == reference

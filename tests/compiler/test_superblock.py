@@ -1,0 +1,70 @@
+"""Profile-guided layout (the superblock-style baseline pass)."""
+
+from repro.branchpred import BranchStats
+from repro.compiler import optimize_layout
+from repro.ir import lower
+from repro.isa import Opcode
+from repro.uarch import execute
+from tests.conftest import build_diamond
+
+
+def profile_for(func, taken_rate, executions=1000):
+    profile = {}
+    for block in func.blocks.values():
+        term = block.terminator
+        if term is not None and term.is_cond_branch:
+            profile[term.branch_id] = BranchStats(
+                branch_id=term.branch_id,
+                executions=executions,
+                taken=round(taken_rate * executions),
+                correct=executions,
+            )
+    return profile
+
+
+def test_heavily_taken_forward_branch_flipped():
+    func = build_diamond([1] * 64)
+    profile = profile_for(func, taken_rate=0.9)
+    flipped = optimize_layout(func, profile)
+    assert flipped >= 1
+    term = func.block("A").terminator
+    assert term.opcode is Opcode.BZ  # sense inverted
+    assert func.block("A").fallthrough == "C"  # hot path falls through
+
+
+def test_hot_block_relocated_adjacent():
+    func = build_diamond([1] * 64)
+    optimize_layout(func, profile_for(func, taken_rate=0.9))
+    layout = func.layout()
+    assert layout.index("C") == layout.index("A") + 1
+
+
+def test_balanced_branch_untouched():
+    func = build_diamond([1, 0] * 32)
+    flipped = optimize_layout(func, profile_for(func, taken_rate=0.5))
+    assert flipped == 0
+    assert func.block("A").terminator.opcode is Opcode.BNZ
+
+
+def test_loop_latch_never_relaid(Out=None):
+    """Backward branches are left alone even when heavily taken."""
+    func = build_diamond([1] * 64)
+    before = func.layout().index("head") if "head" in func.layout() else None
+    profile = profile_for(func, taken_rate=0.99)
+    optimize_layout(func, profile)
+    # The loop latch in `tail` targets `A` backward; A must stay put.
+    assert func.layout().index("A") < func.layout().index("tail")
+
+
+def test_semantics_preserved():
+    pattern = [1, 1, 1, 0] * 24
+    func = build_diamond(pattern)
+    reference = execute(lower(func)).memory_snapshot()
+    optimize_layout(func, profile_for(func, taken_rate=0.75))
+    func.validate()
+    assert execute(lower(func)).memory_snapshot() == reference
+
+
+def test_unprofiled_branches_ignored():
+    func = build_diamond([1] * 32)
+    assert optimize_layout(func, {}) == 0

@@ -1,0 +1,124 @@
+"""The Decomposed Branch Buffer (Section 4, Figure 7)."""
+
+import pytest
+
+from repro.branchpred import HybridPredictor, Prediction
+from repro.core import DecomposedBranchBuffer
+
+
+def prediction(taken=True):
+    return Prediction(taken=taken, meta=())
+
+
+class RecordingPredictor:
+    """Captures deferred updates for inspection."""
+
+    def __init__(self):
+        self.updates = []
+
+    def update(self, pred, taken):
+        self.updates.append((pred, taken))
+
+
+class TestFifo:
+    def test_insert_advances_tail(self):
+        dbb = DecomposedBranchBuffer(entries=16)
+        first = dbb.insert(prediction(), branch_id=1)
+        second = dbb.insert(prediction(), branch_id=2)
+        assert second == (first + 1) % 16
+        assert dbb.tail == second
+
+    def test_tail_wraps_circularly(self):
+        dbb = DecomposedBranchBuffer(entries=4)
+        indices = [dbb.insert(prediction(), branch_id=i) for i in range(6)]
+        assert indices[4] == indices[0]
+        assert dbb.read(indices[5]).branch_id == 5
+
+    def test_read_returns_entry(self):
+        dbb = DecomposedBranchBuffer()
+        index = dbb.insert(prediction(taken=False), branch_id=9)
+        entry = dbb.read(index)
+        assert entry.branch_id == 9
+        assert entry.prediction.taken is False
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            DecomposedBranchBuffer(entries=10)
+
+    def test_paper_default_size(self):
+        assert DecomposedBranchBuffer().entries == 16
+
+
+class TestResolve:
+    def test_update_reaches_predictor_with_stored_meta(self):
+        dbb = DecomposedBranchBuffer()
+        rec = RecordingPredictor()
+        stored = prediction(taken=True)
+        index = dbb.insert(stored, branch_id=3)
+        correct = dbb.resolve(index, actual_taken=True, predictor=rec)
+        assert correct is True
+        assert rec.updates == [(stored, True)]
+
+    def test_mispredict_detected(self):
+        dbb = DecomposedBranchBuffer()
+        rec = RecordingPredictor()
+        index = dbb.insert(prediction(taken=True), branch_id=3)
+        assert dbb.resolve(index, actual_taken=False, predictor=rec) is False
+
+    def test_real_predictor_trains_through_dbb(self):
+        """End-to-end: deferred DBB updates train a real predictor."""
+        predictor = HybridPredictor()
+        dbb = DecomposedBranchBuffer()
+        correct = 0
+        for _ in range(200):
+            pred = predictor.lookup(5)
+            index = dbb.insert(pred, branch_id=5)
+            correct += dbb.resolve(index, True, predictor)
+        assert correct > 180  # converges to always-taken
+
+    def test_occupancy_tracked(self):
+        dbb = DecomposedBranchBuffer()
+        rec = RecordingPredictor()
+        a = dbb.insert(prediction(), 1)
+        b = dbb.insert(prediction(), 2)
+        assert dbb.max_outstanding == 2
+        dbb.resolve(b, True, rec)
+        dbb.resolve(a, True, rec)
+        assert dbb.max_outstanding == 2
+
+
+class TestExceptionalControlFlow:
+    def test_invalidate_all_suppresses_updates(self):
+        """Section 4: on interrupts/exceptions, entries can be invalidated
+        so stale metadata never corrupts the predictor."""
+        dbb = DecomposedBranchBuffer()
+        rec = RecordingPredictor()
+        index = dbb.insert(prediction(), branch_id=1)
+        dbb.invalidate_all()
+        assert dbb.resolve(index, True, rec) is True
+        assert rec.updates == []
+        assert dbb.suppressed_updates == 1
+
+    def test_resolve_of_never_written_entry_suppressed(self):
+        dbb = DecomposedBranchBuffer()
+        rec = RecordingPredictor()
+        assert dbb.resolve(7, True, rec) is True
+        assert rec.updates == []
+
+    def test_recover_tail(self):
+        """Non-decomposed mispredicts restore the tail pointer the same
+        way branch history is restored."""
+        dbb = DecomposedBranchBuffer()
+        index = dbb.insert(prediction(), 1)
+        dbb.insert(prediction(), 2)
+        dbb.recover_tail(index)
+        assert dbb.tail == index
+
+    def test_fresh_insert_after_invalidation_is_valid(self):
+        dbb = DecomposedBranchBuffer()
+        rec = RecordingPredictor()
+        dbb.insert(prediction(), 1)
+        dbb.invalidate_all()
+        index = dbb.insert(prediction(), 2)
+        dbb.resolve(index, True, rec)
+        assert len(rec.updates) == 1

@@ -1,0 +1,169 @@
+"""Structure of the Decomposed Branch Transformation output (Fig. 5)."""
+
+import pytest
+
+from repro.core import TransformConfig, TransformError, decompose_branch
+from repro.core.decompose import _resolution_slice
+from repro.isa import Instruction, Opcode
+from tests.conftest import build_diamond
+
+
+def transformed_diamond(**config_kwargs):
+    func = build_diamond([1, 0] * 40)
+    decompose_branch(
+        func, "A", config=TransformConfig(**config_kwargs)
+    )
+    func.validate()
+    return func
+
+
+class TestStructure:
+    def test_branch_replaced_by_predict(self):
+        func = transformed_diamond()
+        term = func.block("A").terminator
+        assert term.opcode is Opcode.PREDICT
+        assert term.branch_id == 0
+
+    def test_two_resolution_blocks_created(self):
+        """Statically there are two resolve instructions per predict, one
+        per predicted path (Section 2.1)."""
+        func = transformed_diamond()
+        resolves = [
+            block.terminator
+            for block in func.blocks.values()
+            if block.terminator is not None and block.terminator.is_resolve
+        ]
+        assert len(resolves) == 2
+        directions = {r.predicted_dir for r in resolves}
+        assert directions == {True, False}
+        assert all(r.branch_id == 0 for r in resolves)
+
+    def test_predict_paths_lead_to_resolves(self):
+        func = transformed_diamond()
+        predict = func.block("A").terminator
+        taken_path = func.block(predict.target)
+        fall_path = func.block(func.block("A").fallthrough)
+        assert taken_path.terminator.is_resolve
+        assert fall_path.terminator.is_resolve
+        assert taken_path.terminator.predicted_dir is True
+        assert fall_path.terminator.predicted_dir is False
+
+    def test_resolve_opcodes_mirror_branch_sense(self):
+        """Original BNZ: on the not-taken path, divert iff cond != 0."""
+        func = transformed_diamond()
+        fall_path = func.block(func.block("A").fallthrough)
+        predict = func.block("A").terminator
+        taken_path = func.block(predict.target)
+        assert fall_path.terminator.opcode is Opcode.RESOLVE_NZ
+        assert taken_path.terminator.opcode is Opcode.RESOLVE_Z
+
+    def test_compare_pushed_into_both_resolution_blocks(self):
+        func = transformed_diamond()
+        a_ops = [inst.opcode for inst in func.block("A").body]
+        assert Opcode.CMP_NE not in a_ops  # pushed out of A
+        for name in ("A.nt", "A.t"):
+            ops = [inst.opcode for inst in func.block(name).body]
+            assert Opcode.CMP_NE in ops
+
+    def test_hoisted_loads_marked_speculative(self):
+        func = transformed_diamond()
+        for name in ("A.nt", "A.t"):
+            hoisted_loads = [
+                inst
+                for inst in func.block(name).body
+                if inst.is_load and inst.hoisted
+            ]
+            assert hoisted_loads
+            assert all(inst.speculative for inst in hoisted_loads)
+
+    def test_correction_blocks_at_function_end(self):
+        """Recovery code lives off the hot path (separate pages)."""
+        func = transformed_diamond()
+        layout = func.layout()
+        correct = [n for n in layout if ".correct." in n]
+        assert len(correct) == 2
+        assert layout[-2:] == correct
+
+    def test_correction_blocks_reexecute_originals(self):
+        func = transformed_diamond()
+        for name in func.layout():
+            if ".correct." not in name:
+                continue
+            block = func.block(name)
+            assert block.terminator.opcode is Opcode.JMP
+            for inst in block.body:
+                assert not inst.hoisted
+                if inst.is_load:
+                    assert not inst.speculative
+
+    def test_stores_stay_below_resolution(self):
+        """Section 3: stores are pushed below the resolution point."""
+        func = transformed_diamond()
+        for name in ("A.nt", "A.t"):
+            assert not any(i.is_store for i in func.block(name).body)
+
+    def test_hoist_budget_respected(self):
+        func = transformed_diamond(max_hoist_per_side=1)
+        for name in ("A.nt", "A.t"):
+            hoisted = [i for i in func.block(name).body if i.hoisted]
+            assert len(hoisted) <= 1
+
+    def test_push_down_can_be_disabled(self):
+        func = transformed_diamond(push_down_slice=False)
+        a_ops = [inst.opcode for inst in func.block("A").body]
+        assert Opcode.CMP_NE in a_ops
+
+
+class TestErrors:
+    def test_non_branch_block_rejected(self):
+        func = build_diamond([1, 0] * 10)
+        with pytest.raises(TransformError):
+            decompose_branch(func, "M")
+
+    def test_missing_branch_id_rejected(self):
+        from repro.ir import FunctionBuilder
+
+        fb = FunctionBuilder("g")
+        a = fb.block("a")
+        a.li(1, 1)
+        a.bnz(1, target="c", fallthrough="b")  # no branch_id
+        fb.block("b").jmp("d")
+        fb.block("c").block.fallthrough = "d"
+        fb.block("d").halt()
+        with pytest.raises(TransformError):
+            decompose_branch(fb.build(), "a")
+
+
+class TestResolutionSlice:
+    def add(self, dest, *srcs, imm=None):
+        return Instruction(opcode=Opcode.ADD, dest=dest, srcs=srcs, imm=imm)
+
+    def cmp(self, dest, src):
+        return Instruction(opcode=Opcode.CMP_NE, dest=dest, srcs=(src,), imm=0)
+
+    def test_backward_closure_of_condition(self):
+        body = [self.add(1, 2), self.add(3, 1), self.cmp(4, 3)]
+        assert _resolution_slice(body, cond_reg=4) == [0, 1, 2]
+
+    def test_unrelated_work_stays(self):
+        body = [self.add(9, 8), self.cmp(4, 3)]
+        assert _resolution_slice(body, cond_reg=4) == [1]
+
+    def test_value_used_by_unpushed_consumer_not_pushed(self):
+        # add r1 feeds both the cmp and a later unrelated use of r1.
+        body = [self.add(1, 2), self.cmp(4, 1), self.add(9, 1)]
+        slice_indices = _resolution_slice(body, cond_reg=4)
+        assert 0 not in slice_indices
+
+    def test_memory_ops_never_pushed(self):
+        load = Instruction(opcode=Opcode.LOAD, dest=3, srcs=(2,), imm=0)
+        body = [load, self.cmp(4, 3)]
+        assert _resolution_slice(body, cond_reg=4) == [1]
+
+    def test_war_against_remaining_instruction(self):
+        # cmp reads r3; a later unpushed add writes r3's source r2 -- the
+        # pushed set moving below it must not include the r2 reader.
+        body = [self.add(3, 2), self.add(2, 9), self.cmp(4, 3)]
+        slice_indices = _resolution_slice(body, cond_reg=4)
+        assert 0 not in slice_indices
+        assert 2 in slice_indices

@@ -1,0 +1,178 @@
+"""Differential semantics: the transformation must preserve architectural
+results under *any* prediction stream -- correction code repairs every
+misprediction.  This is the load-bearing correctness property of the whole
+paper."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.core import TransformConfig, decompose_branch
+from repro.ir import FunctionBuilder, lower
+from repro.uarch import always_not_taken, always_taken, execute
+from tests.conftest import build_diamond
+
+
+def architectural_result(program, policy=always_not_taken):
+    result = execute(program, predict_policy=policy, max_instructions=3_000_000)
+    assert result.halted
+    return result.memory_snapshot()
+
+
+def policies_for(seed):
+    rng = random.Random(seed)
+    return [
+        always_taken,
+        always_not_taken,
+        lambda _b: rng.random() < 0.5,
+    ]
+
+
+class TestDiamondEquivalence:
+    @pytest.mark.parametrize("pattern", [
+        [1] * 64,
+        [0] * 64,
+        [1, 0] * 32,
+        [1, 1, 0] * 24,
+        [0, 0, 0, 1] * 16,
+    ])
+    def test_all_outcome_patterns(self, pattern):
+        func = build_diamond(pattern)
+        reference = architectural_result(lower(func))
+        decompose_branch(func.clone() if False else func, "A")
+        transformed = lower(func)
+        for policy in policies_for(1234):
+            assert architectural_result(transformed, policy) == reference
+
+    @pytest.mark.parametrize("hoist", [0, 1, 3, 12])
+    def test_hoist_budgets(self, hoist):
+        pattern = [1, 0, 0, 1, 1] * 20
+        func = build_diamond(pattern)
+        reference = architectural_result(lower(func))
+        decompose_branch(
+            func, "A", config=TransformConfig(max_hoist_per_side=hoist)
+        )
+        assert architectural_result(lower(func), always_taken) == reference
+
+    def test_without_push_down(self):
+        pattern = [1, 0] * 40
+        func = build_diamond(pattern)
+        reference = architectural_result(lower(func))
+        decompose_branch(
+            func, "A", config=TransformConfig(push_down_slice=False)
+        )
+        assert architectural_result(lower(func), always_taken) == reference
+
+
+class TestPipelineEquivalence:
+    def test_full_pipeline_on_diamond(self):
+        func = build_diamond([1, 0, 1, 1, 0] * 30)
+        baseline = compile_baseline(func)
+        decomposed = compile_decomposed(func, profile=baseline.profile)
+        reference = architectural_result(baseline.program)
+        for policy in policies_for(99):
+            assert architectural_result(decomposed.program, policy) == reference
+
+
+def _random_hammock(draw_ops, n_blocks_data, seed):
+    """Build a randomized multi-site hammock program.
+
+    Each site's successor blocks get a random instruction soup drawn from
+    hypothesis, exercising hoist legality, renaming, and correction-code
+    generation on shapes the hand-written tests never cover.
+    """
+    rng = random.Random(seed)
+    n_sites = len(n_blocks_data)
+    fb = FunctionBuilder("random_hammock")
+    iterations = 24
+    # Data: per-site condition words.
+    for s in range(n_sites):
+        for i in range(iterations):
+            fb.function.data[2000 + s * 64 + i] = rng.randint(0, 1)
+    for addr in range(3000, 3200):
+        fb.function.data[addr] = rng.randint(-50, 50)
+
+    init = fb.block("init")
+    init.li(1, 0)
+    init.li(2, iterations)
+    init.li(3, 0)
+    init.block.fallthrough = "s0A"
+
+    def emit_soup(bb, ops, salt):
+        regs = list(range(8, 24))
+        for k, op in enumerate(ops):
+            kind = op % 5
+            dst = regs[(salt + k) % len(regs)]
+            src = regs[(salt + k * 3 + 1) % len(regs)]
+            if kind == 0:
+                bb.add(dst, src, imm=op)
+            elif kind == 1:
+                bb.xor(dst, src, imm=salt)
+            elif kind == 2:
+                bb.add(5, 1, imm=3000 + (op % 100))
+                bb.load(dst, 5, offset=0)
+            elif kind == 3:
+                bb.store(src, 4, offset=600 + (op % 50))
+            else:
+                bb.mul(dst, src, imm=(op % 7) + 1)
+        bb.add(3, 3, dst if ops else 3)
+        bb.store(3, 4, offset=500 + salt)
+
+    for s, (ops_b, ops_c) in enumerate(n_blocks_data):
+        a = fb.block(f"s{s}A")
+        a.add(4, 1, imm=2000 + s * 64)
+        a.load(6, 4, 0)
+        a.cmp_ne(7, 6, imm=0)
+        a.bnz(7, target=f"s{s}C", fallthrough=f"s{s}B", branch_id=s)
+        b = fb.block(f"s{s}B")
+        emit_soup(b, ops_b, salt=2 * s)
+        b.jmp(f"s{s}M")
+        c = fb.block(f"s{s}C")
+        emit_soup(c, ops_c, salt=2 * s + 1)
+        c.block.fallthrough = f"s{s}M"
+        m = fb.block(f"s{s}M")
+        m.block.fallthrough = f"s{s + 1}A" if s + 1 < n_sites else "tail"
+
+    tail = fb.block("tail")
+    tail.add(1, 1, imm=1)
+    tail.cmp_lt(9, 1, 2)
+    tail.bnz(9, target="s0A", fallthrough="exit", branch_id=77)
+    exit_block = fb.block("exit")
+    exit_block.store(3, 4, offset=999)
+    exit_block.halt()
+    return fb.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sites=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 1000), min_size=0, max_size=10),
+            st.lists(st.integers(0, 1000), min_size=0, max_size=10),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    seed=st.integers(0, 10_000),
+)
+def test_random_hammocks_preserve_semantics(sites, seed):
+    """Property: for arbitrary successor-block contents, decomposing every
+    eligible branch preserves the final memory image under adversarial
+    prediction policies."""
+    func = _random_hammock(None, sites, seed)
+    reference = architectural_result(lower(func))
+
+    for s in range(len(sites)):
+        try:
+            decompose_branch(func, f"s{s}A")
+        except Exception as error:  # pragma: no cover - diagnostic aid
+            raise AssertionError(f"decompose failed on site {s}: {error}")
+    func.validate()
+    transformed = lower(func)
+
+    rng = random.Random(seed)
+    for policy in (always_taken, always_not_taken,
+                   lambda _b: rng.random() < 0.5):
+        assert architectural_result(transformed, policy) == reference

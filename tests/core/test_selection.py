@@ -1,0 +1,116 @@
+"""Selection heuristic and the Figure 1 taxonomy."""
+
+from repro.branchpred import BranchStats
+from repro.core import (
+    BranchClass,
+    SelectionConfig,
+    classify_branch,
+    select_candidates,
+)
+from tests.conftest import build_diamond
+
+
+def stats(bias, predictability, executions=1000, taken_majority=True):
+    taken = round(bias * executions) if taken_majority else round(
+        (1 - bias) * executions
+    )
+    return BranchStats(
+        branch_id=0,
+        executions=executions,
+        taken=taken,
+        correct=round(predictability * executions),
+    )
+
+
+class TestTaxonomy:
+    def test_highly_biased_goes_superblock(self):
+        assert classify_branch(stats(0.97, 0.98)) is BranchClass.SUPERBLOCK
+
+    def test_unbiased_predictable_is_our_contribution(self):
+        assert classify_branch(stats(0.60, 0.92)) is BranchClass.DECOMPOSE
+
+    def test_unbiased_unpredictable_is_predication(self):
+        assert classify_branch(stats(0.55, 0.56)) is BranchClass.PREDICATE
+
+    def test_biased_but_unpredictable_is_rare(self):
+        assert classify_branch(stats(0.95, 0.5)) is BranchClass.RARE
+
+    def test_gap_below_5_percent_not_decomposed(self):
+        """The paper's threshold: predictability must exceed bias by 5%."""
+        assert classify_branch(stats(0.80, 0.83)) is BranchClass.PREDICATE
+        assert classify_branch(stats(0.80, 0.86)) is BranchClass.DECOMPOSE
+
+    def test_threshold_configurable(self):
+        config = SelectionConfig(min_exposed_predictability=0.10)
+        assert classify_branch(stats(0.80, 0.86), config) is BranchClass.PREDICATE
+
+
+class TestSelectCandidates:
+    def make_profile(self, func, bias, pred):
+        branch_ids = set()
+        for block in func.blocks.values():
+            term = block.terminator
+            if term is not None and term.is_cond_branch:
+                branch_ids.add(term.branch_id)
+        return {bid: stats(bias, pred) for bid in branch_ids}
+
+    def test_selects_decompose_class_forward_branch(self):
+        func = build_diamond([1, 0] * 50)
+        profile = self.make_profile(func, bias=0.6, pred=0.92)
+        report = select_candidates(func, profile)
+        assert len(report.candidates) == 1
+        assert report.candidates[0].block == "A"
+
+    def test_loop_branch_never_selected(self):
+        """Footnote 1: backward branches are excluded."""
+        func = build_diamond([1, 0] * 50)
+        profile = self.make_profile(func, bias=0.6, pred=0.92)
+        report = select_candidates(func, profile)
+        selected_blocks = {c.block for c in report.candidates}
+        assert "tail" not in selected_blocks
+
+    def test_counts_forward_branches(self):
+        func = build_diamond([1, 0] * 50)
+        profile = self.make_profile(func, bias=0.6, pred=0.92)
+        report = select_candidates(func, profile)
+        assert report.forward_branches == 1
+        assert report.conditional_branches == 2  # diamond + loop latch
+        assert report.pbc == 100.0
+
+    def test_biased_branch_not_selected(self):
+        func = build_diamond([1] * 100)
+        profile = self.make_profile(func, bias=0.97, pred=0.99)
+        report = select_candidates(func, profile)
+        assert report.candidates == []
+
+    def test_low_execution_count_filtered(self):
+        func = build_diamond([1, 0] * 50)
+        profile = {
+            bid: stats(0.6, 0.92, executions=4)
+            for bid in self.make_profile(func, 0.6, 0.92)
+        }
+        report = select_candidates(func, profile)
+        assert report.candidates == []
+
+    def test_unprofiled_branch_skipped(self):
+        func = build_diamond([1, 0] * 50)
+        report = select_candidates(func, {})
+        assert report.candidates == []
+
+    def test_structural_eligibility_shared_successor(self):
+        """A branch whose successors have other predecessors must not be
+        converted (trimming their prefix would corrupt other paths)."""
+        from repro.ir import FunctionBuilder
+
+        fb = FunctionBuilder("g")
+        a = fb.block("a")
+        a.li(1, 1)
+        a.bnz(1, target="c", fallthrough="b", branch_id=0)
+        b = fb.block("b")
+        b.jmp("c")  # second predecessor of c
+        c = fb.block("c")
+        c.halt()
+        func = fb.build()
+        profile = {0: stats(0.6, 0.92)}
+        report = select_candidates(func, profile)
+        assert report.candidates == []

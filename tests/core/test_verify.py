@@ -1,0 +1,113 @@
+"""The independent transformation verifier."""
+
+from dataclasses import replace
+
+from repro.compiler import profile_function
+from repro.core import (
+    decompose_branch,
+    select_candidates,
+    transform_function,
+    verify,
+    verify_equivalence,
+    verify_function,
+)
+from repro.isa import Opcode
+from tests.conftest import build_diamond
+
+PATTERN = [1, 1, 0, 1, 0, 0, 1, 0] * 24
+
+
+def transformed_pair():
+    func = build_diamond(PATTERN)
+    profile = profile_function(func)
+    selection = select_candidates(func, profile)
+    transformed, _ = transform_function(func, selection.candidates)
+    return func, transformed
+
+
+class TestCleanTransform:
+    def test_structural_check_passes(self):
+        _, transformed = transformed_pair()
+        report = verify_function(transformed)
+        assert report.ok, report.errors
+        assert report.predicts_checked == 1
+
+    def test_differential_check_passes(self):
+        original, transformed = transformed_pair()
+        assert verify_equivalence(original, transformed).ok
+
+    def test_full_verify_passes(self):
+        original, transformed = transformed_pair()
+        assert verify(original, transformed).ok
+
+    def test_untransformed_function_trivially_ok(self):
+        func = build_diamond(PATTERN)
+        report = verify_function(func)
+        assert report.ok and report.predicts_checked == 0
+
+
+class TestBrokenTransformsCaught:
+    def test_mismatched_branch_id(self):
+        _, transformed = transformed_pair()
+        for block in transformed.blocks.values():
+            term = block.terminator
+            if term is not None and term.is_resolve:
+                block.terminator = replace(term, branch_id=999)
+                break
+        report = verify_function(transformed)
+        assert not report.ok
+        assert any("branch_id" in e for e in report.errors)
+
+    def test_wrong_predicted_dir(self):
+        _, transformed = transformed_pair()
+        for block in transformed.blocks.values():
+            term = block.terminator
+            if term is not None and term.is_resolve:
+                block.terminator = replace(
+                    term, predicted_dir=not term.predicted_dir
+                )
+                break
+        report = verify_function(transformed)
+        assert not report.ok
+        assert any("predicted_dir" in e for e in report.errors)
+
+    def test_store_above_resolution_detected(self):
+        from repro.isa import Instruction
+
+        _, transformed = transformed_pair()
+        # Inject a store into a resolution block.
+        for name, block in transformed.blocks.items():
+            term = block.terminator
+            if term is not None and term.is_resolve:
+                block.body.append(
+                    Instruction(opcode=Opcode.STORE, srcs=(1, 4), imm=0)
+                )
+                break
+        report = verify_function(transformed)
+        assert not report.ok
+        assert any("store above" in e for e in report.errors)
+
+    def test_unmarked_speculative_load_detected(self):
+        _, transformed = transformed_pair()
+        for block in transformed.blocks.values():
+            term = block.terminator
+            if term is None or not term.is_resolve:
+                continue
+            for index, inst in enumerate(block.body):
+                if inst.is_load and inst.hoisted:
+                    block.body[index] = replace(inst, speculative=False)
+                    break
+            break
+        report = verify_function(transformed)
+        assert not report.ok
+        assert any("non-faulting" in e for e in report.errors)
+
+    def test_semantic_corruption_detected(self):
+        original, transformed = transformed_pair()
+        # Corrupt a correction block: drop its re-executed instructions.
+        for name, block in transformed.blocks.items():
+            if ".correct." in name and block.body:
+                block.body = []
+                break
+        report = verify_equivalence(original, transformed)
+        assert not report.ok

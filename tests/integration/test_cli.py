@@ -1,0 +1,50 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["table2"],
+            ["figure", "fig8"],
+            ["predvbias", "int2006"],
+            ["taxonomy"],
+            ["sensitivity"],
+            ["sideeffects"],
+            ["ablations"],
+            ["bench", "gcc"],
+            ["timeline", "gcc"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_figure_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_scale_flags(self):
+        args = build_parser().parse_args(
+            ["--iterations", "100", "--seeds", "2", "table2"]
+        )
+        assert args.iterations == 100 and args.seeds == 2
+
+
+class TestExecution:
+    def test_bench_command(self, capsys):
+        assert main(["--iterations", "120", "bench", "omnetpp"]) == 0
+        out = capsys.readouterr().out
+        assert "omnetpp" in out and "speedup" in out
+
+    def test_timeline_command(self, capsys):
+        assert main(["--iterations", "80", "timeline", "gcc",
+                     "--count", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_taxonomy_command(self, capsys):
+        assert main(["--iterations", "80", "taxonomy", "int2006"]) == 0
+        assert "TOTAL" in capsys.readouterr().out

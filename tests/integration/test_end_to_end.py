@@ -1,0 +1,99 @@
+"""End-to-end behaviour: the headline result on controlled workloads."""
+
+import pytest
+
+from repro import quick_comparison
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.uarch import InOrderCore, MachineConfig
+from repro.workloads import BranchSiteSpec, WorkloadSpec, omnetpp_carray_add
+
+
+def favourable_spec(iterations=1200):
+    """A workload squarely in the paper's sweet spot: one unbiased,
+    highly-predictable branch with plenty of hoistable MLP."""
+    return WorkloadSpec(
+        name="sweetspot",
+        suite="test",
+        sites=[BranchSiteSpec(bias=0.6, predictability=0.95)],
+        iterations=iterations,
+        loads_not_taken=4,
+        loads_taken=4,
+        loads_cond_block=1,
+        alu_per_block=3,
+        hoist_barrier_frac=0.9,
+        cold_code_factor=0.0,
+    )
+
+
+class TestHeadlineResult:
+    def test_decomposition_speeds_up_the_sweet_spot(self):
+        outcome = quick_comparison(favourable_spec().build(seed=1))
+        assert outcome.speedup_percent > 4.0
+
+    def test_architectural_equivalence_in_timing_model(self):
+        outcome = quick_comparison(favourable_spec(600).build(seed=1))
+        assert (
+            outcome.baseline.memory_snapshot()
+            == outcome.decomposed.memory_snapshot()
+        )
+
+    def test_figure6_kernel_benefits(self):
+        outcome = quick_comparison(omnetpp_carray_add(iterations=1024))
+        assert outcome.speedup_percent > 0.5
+
+    def test_unpredictable_branch_not_converted_no_harm(self):
+        """Predication-class branch: selection skips it, so the
+        'transformed' binary is the baseline and costs nothing."""
+        spec = WorkloadSpec(
+            name="unpred",
+            suite="test",
+            sites=[BranchSiteSpec(bias=0.55, predictability=0.55,
+                                  patterned=False)],
+            iterations=400,
+            cold_code_factor=0.0,
+        )
+        func = spec.build(seed=1)
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        assert dec.transform.converted == 0
+        outcome = quick_comparison(func)
+        assert abs(outcome.speedup_percent) < 1.5
+
+
+class TestWidthSensitivity:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_all_widths_preserve_semantics_and_finish(self, width):
+        func = favourable_spec(400).build(seed=1)
+        outcome = quick_comparison(
+            func, config=MachineConfig.paper_default(width)
+        )
+        assert outcome.baseline.stats.halted
+        assert (
+            outcome.baseline.memory_snapshot()
+            == outcome.decomposed.memory_snapshot()
+        )
+
+    def test_wider_machines_run_faster_baselines(self):
+        func = favourable_spec(400).build(seed=1)
+        cycles = {}
+        for width in (2, 8):
+            result = InOrderCore(MachineConfig.paper_default(width)).run(
+                compile_baseline(func).program
+            )
+            cycles[width] = result.cycles
+        assert cycles[8] < cycles[2]
+
+
+class TestMispredictionEconomy:
+    def test_low_predictability_erodes_gain(self):
+        """Same bias, worse predictability -> smaller (or negative) win;
+        the selection threshold exists for a reason."""
+        def spd(predictability):
+            spec = favourable_spec(800)
+            spec.sites = [
+                BranchSiteSpec(bias=0.6, predictability=predictability)
+            ]
+            spec.name = f"p{predictability}"
+            return quick_comparison(spec.build(seed=1)).speedup_percent
+
+        assert spd(0.95) > spd(0.78)

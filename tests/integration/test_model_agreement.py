@@ -1,0 +1,119 @@
+"""Cross-model agreement: the cycle-level timing model and the
+timing-free functional executor must produce identical architectural
+results -- the timing layer must never change *what* executes.
+
+Randomised over program shapes with hypothesis."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.ir import FunctionBuilder, lower
+from repro.uarch import InOrderCore, MachineConfig, execute
+from tests.conftest import build_diamond
+
+
+def _random_program(ops, seed):
+    """A loop over a soup of arithmetic/memory/diamond constructs."""
+    rng = random.Random(seed)
+    fb = FunctionBuilder("soup")
+    for i in range(64):
+        fb.function.data[500 + i] = rng.randint(0, 1)
+        fb.function.data[600 + i] = rng.randint(-9, 9)
+
+    init = fb.block("init")
+    init.li(1, 0)
+    init.li(2, 20)
+    init.li(3, 0)
+    init.block.fallthrough = "body"
+
+    body = fb.block("body")
+    body.add(4, 1, imm=500)
+    body.load(5, 4, 0)
+    regs = list(range(8, 20))
+    for k, op in enumerate(ops):
+        dst = regs[(k * 5 + op) % len(regs)]
+        src = regs[(k * 3 + 1) % len(regs)]
+        kind = op % 6
+        if kind == 0:
+            body.add(dst, src, imm=op)
+        elif kind == 1:
+            body.mul(dst, src, imm=(op % 5) + 1)
+        elif kind == 2:
+            body.load(dst, 4, offset=100 + (op % 32))
+        elif kind == 3:
+            body.store(src, 4, offset=200 + (op % 32))
+        elif kind == 4:
+            body.xor(dst, src, imm=op)
+        else:
+            body.shr(dst, src, imm=op % 7)
+    body.add(3, 3, regs[0])
+    body.cmp_ne(6, 5, imm=0)
+    body.bnz(6, target="taken", fallthrough="fall", branch_id=0)
+
+    fall = fb.block("fall")
+    fall.add(3, 3, imm=1)
+    fall.store(3, 4, offset=300)
+    fall.jmp("merge")
+
+    taken = fb.block("taken")
+    taken.add(3, 3, imm=2)
+    taken.store(3, 4, offset=300)
+    taken.block.fallthrough = "merge"
+
+    merge = fb.block("merge")
+    merge.add(1, 1, imm=1)
+    merge.cmp_lt(7, 1, 2)
+    merge.bnz(7, target="body", fallthrough="done", branch_id=1)
+
+    done = fb.block("done")
+    done.store(3, 4, offset=400)
+    done.halt()
+    return fb.build()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(st.integers(0, 500), min_size=0, max_size=16),
+    seed=st.integers(0, 1000),
+)
+def test_timing_model_matches_functional_executor(ops, seed):
+    func = _random_program(ops, seed)
+    program = lower(func)
+    functional = execute(program)
+    timed = InOrderCore(MachineConfig.paper_default()).run(program)
+    assert timed.stats.halted and functional.halted
+    assert timed.memory_snapshot() == functional.memory_snapshot()
+    assert timed.registers[3] == functional.registers[3]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    ops=st.lists(st.integers(0, 500), min_size=0, max_size=12),
+    seed=st.integers(0, 1000),
+    width=st.sampled_from([2, 4, 8]),
+)
+def test_width_never_changes_architecture(ops, seed, width):
+    func = _random_program(ops, seed)
+    program = lower(func)
+    reference = execute(program).memory_snapshot()
+    timed = InOrderCore(MachineConfig.paper_default(width)).run(program)
+    assert timed.memory_snapshot() == reference
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_decomposed_timing_model_matches_functional_reference(seed):
+    """Transformed programs in the *timing* model (real predictor, DBB,
+    squash/redirect) still land on the baseline's architectural state."""
+    rng = random.Random(seed)
+    pattern = [rng.randint(0, 1) for _ in range(160)]
+    func = build_diamond(pattern)
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+    reference = execute(baseline.program).memory_snapshot()
+    timed = InOrderCore(MachineConfig.paper_default()).run(
+        decomposed.program
+    )
+    assert timed.memory_snapshot() == reference

@@ -1,0 +1,31 @@
+"""Verifier sweep over real SPEC-calibrated workloads.
+
+For a representative slice of the benchmark table, run the full
+experimental pipeline and then the independent verifier: structural
+predict/resolve invariants plus differential execution under adversarial
+prediction policies."""
+
+import pytest
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.core import verify
+from repro.workloads import spec_benchmark
+
+#: One benchmark per interesting class: high-PBC INT, chase-heavy INT,
+#: DRAM-bound INT, FP, SPEC2000.
+SWEEP = ("h264ref", "omnetpp", "mcf", "wrf", "vortex00", "art00")
+
+
+@pytest.mark.parametrize("name", SWEEP)
+def test_transformed_benchmark_verifies(name):
+    # 400 iterations: enough profiling signal for every sweep member's
+    # selection heuristic to fire (mcf/wrf candidates are borderline).
+    spec = spec_benchmark(name, iterations=400)
+    func = spec.build(seed=1)
+    baseline = compile_baseline(func)
+    decomposed = compile_decomposed(func, profile=baseline.profile)
+    if decomposed.transform.converted == 0:
+        pytest.skip(f"{name}: nothing converted at this scale")
+    report = verify(func, decomposed.function)
+    assert report.ok, report.errors
+    assert report.predicts_checked == decomposed.transform.converted

@@ -1,0 +1,89 @@
+"""Basic-block invariants and successor semantics."""
+
+import pytest
+
+from repro.ir import BasicBlock, IRError
+from repro.isa import Instruction, Opcode
+
+
+def add():
+    return Instruction(opcode=Opcode.ADD, dest=1, srcs=(2,), imm=1)
+
+
+class TestAppend:
+    def test_appends_straightline(self):
+        block = BasicBlock(name="b")
+        block.append(add())
+        assert len(block) == 1
+
+    def test_rejects_terminator_in_body(self):
+        block = BasicBlock(name="b")
+        with pytest.raises(IRError):
+            block.append(Instruction(opcode=Opcode.JMP, target="x"))
+
+    def test_set_terminator_rejects_straightline(self):
+        block = BasicBlock(name="b")
+        with pytest.raises(IRError):
+            block.set_terminator(add())
+
+
+class TestSuccessors:
+    def test_fallthrough_only(self):
+        block = BasicBlock(name="b", fallthrough="next")
+        assert block.successors() == ["next"]
+
+    def test_halt_has_none(self):
+        block = BasicBlock(name="b")
+        block.set_terminator(Instruction(opcode=Opcode.HALT))
+        assert block.successors() == []
+
+    def test_jmp(self):
+        block = BasicBlock(name="b")
+        block.set_terminator(Instruction(opcode=Opcode.JMP, target="t"))
+        assert block.successors() == ["t"]
+
+    def test_conditional_branch_taken_first(self):
+        block = BasicBlock(name="b", fallthrough="f")
+        block.set_terminator(
+            Instruction(opcode=Opcode.BNZ, srcs=(1,), target="t")
+        )
+        assert block.successors() == ["t", "f"]
+
+    def test_predict_has_both_paths(self):
+        block = BasicBlock(name="b")
+        block.set_terminator(
+            Instruction(opcode=Opcode.PREDICT, target="taken", branch_id=0),
+            fallthrough="not_taken",
+        )
+        assert block.successors() == ["taken", "not_taken"]
+
+    def test_resolve_has_divert_and_confirm(self):
+        block = BasicBlock(name="b", fallthrough="confirm")
+        block.set_terminator(
+            Instruction(
+                opcode=Opcode.RESOLVE_NZ, srcs=(1,), target="correct",
+                predicted_dir=False,
+            )
+        )
+        assert block.successors() == ["correct", "confirm"]
+
+    def test_ret_has_none(self):
+        block = BasicBlock(name="b")
+        block.set_terminator(Instruction(opcode=Opcode.RET, srcs=(63,)))
+        assert block.successors() == []
+
+    def test_call_returns_to_fallthrough(self):
+        block = BasicBlock(name="b", fallthrough="after")
+        block.set_terminator(
+            Instruction(opcode=Opcode.CALL, dest=63, target="callee")
+        )
+        assert block.successors() == ["callee", "after"]
+
+
+class TestIteration:
+    def test_instructions_include_terminator(self):
+        block = BasicBlock(name="b")
+        block.append(add())
+        block.set_terminator(Instruction(opcode=Opcode.HALT))
+        ops = [inst.opcode for inst in block.instructions()]
+        assert ops == [Opcode.ADD, Opcode.HALT]

@@ -1,0 +1,82 @@
+"""FunctionBuilder emission checks."""
+
+import pytest
+
+from repro.ir import FunctionBuilder
+from repro.isa import Opcode
+
+
+def test_arithmetic_emission():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    assert a.add(1, 2, 3).opcode is Opcode.ADD
+    assert a.sub(1, 2, imm=5).imm == 5
+    assert a.mul(1, 2, 3).srcs == (2, 3)
+    assert a.fadd(1, 2, 3).opcode is Opcode.FADD
+    assert a.cmp_ge(1, 2, imm=0).opcode is Opcode.CMP_GE
+    assert a.xor(1, 1, imm=3).opcode is Opcode.XOR
+    assert len(a.block) == 6
+
+
+def test_memory_emission():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    ld = a.load(1, 2, offset=4, speculative=True)
+    assert ld.opcode is Opcode.LOAD and ld.speculative and ld.imm == 4
+    st = a.store(1, 2, offset=8)
+    assert st.opcode is Opcode.STORE and st.srcs == (1, 2)
+
+
+def test_terminator_emission():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    br = a.bnz(1, target="t", fallthrough="f2", branch_id=3)
+    assert br.branch_id == 3
+    assert a.block.terminator is br
+    assert a.block.fallthrough == "f2"
+
+
+def test_predict_resolve_emission():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    p = a.predict(target="t", fallthrough="nt", branch_id=1)
+    assert p.opcode is Opcode.PREDICT and p.branch_id == 1
+
+    b = fb.block("b")
+    r = b.resolve_nz(5, target="fix", fallthrough="go", branch_id=1,
+                     predicted_dir=False)
+    assert r.opcode is Opcode.RESOLVE_NZ
+    assert r.predicted_dir is False
+    assert b.block.fallthrough == "go"
+
+
+def test_call_ret_emission():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    c = a.call(target="fn", link=63, fallthrough="after")
+    assert c.opcode is Opcode.CALL and c.dest == 63
+    b = fb.block("b")
+    r = b.ret(63)
+    assert r.opcode is Opcode.RET and r.srcs == (63,)
+
+
+def test_fresh_branch_ids_increment():
+    fb = FunctionBuilder("f")
+    assert fb.fresh_branch_id() == 0
+    assert fb.fresh_branch_id() == 1
+
+
+def test_data_helper():
+    fb = FunctionBuilder("f")
+    fb.data(10, [1, 2, 3])
+    assert fb.function.data == {10: 1, 11: 2, 12: 3}
+
+
+def test_build_validates():
+    from repro.ir import IRError
+
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.jmp("nowhere")
+    with pytest.raises(IRError):
+        fb.build()

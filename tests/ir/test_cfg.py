@@ -1,0 +1,112 @@
+"""CFG analyses: edges, reachability, loops, forward-branch tests."""
+
+from repro.ir import (
+    FunctionBuilder,
+    back_edges,
+    conditional_branch_blocks,
+    dominators,
+    is_forward_branch,
+    predecessor_map,
+    reachable_blocks,
+    successor_map,
+)
+
+
+def diamond_with_loop():
+    """entry -> head -> {left,right} -> merge -> head (loop) -> exit."""
+    fb = FunctionBuilder("g")
+    entry = fb.block("entry")
+    entry.li(1, 0)
+    entry.block.fallthrough = "head"
+    head = fb.block("head")
+    head.cmp_lt(2, 1, imm=5)
+    head.bnz(2, target="right", fallthrough="left", branch_id=0)
+    left = fb.block("left")
+    left.add(3, 3, imm=1)
+    left.jmp("merge")
+    right = fb.block("right")
+    right.add(3, 3, imm=2)
+    right.block.fallthrough = "merge"
+    merge = fb.block("merge")
+    merge.add(1, 1, imm=1)
+    merge.cmp_lt(4, 1, imm=10)
+    merge.bnz(4, target="head", fallthrough="exit", branch_id=1)
+    exit_block = fb.block("exit")
+    exit_block.halt()
+    return fb.build()
+
+
+class TestEdges:
+    def test_successor_map(self):
+        func = diamond_with_loop()
+        succs = successor_map(func)
+        assert succs["head"] == ["right", "left"]
+        assert succs["merge"] == ["head", "exit"]
+        assert succs["exit"] == []
+
+    def test_predecessor_map(self):
+        func = diamond_with_loop()
+        preds = predecessor_map(func)
+        assert sorted(preds["merge"]) == ["left", "right"]
+        assert sorted(preds["head"]) == ["entry", "merge"]
+
+
+class TestReachability:
+    def test_all_reachable(self):
+        func = diamond_with_loop()
+        assert reachable_blocks(func) == set(func.layout())
+
+    def test_dead_block_excluded(self):
+        func = diamond_with_loop()
+        from repro.ir import BasicBlock
+        from repro.isa import Instruction, Opcode
+
+        dead = BasicBlock(name="dead")
+        dead.set_terminator(Instruction(opcode=Opcode.HALT))
+        func.add_block(dead)
+        assert "dead" not in reachable_blocks(func)
+
+
+class TestLoops:
+    def test_back_edge_found(self):
+        func = diamond_with_loop()
+        assert ("merge", "head") in back_edges(func)
+
+    def test_forward_edges_are_not_back_edges(self):
+        func = diamond_with_loop()
+        edges = back_edges(func)
+        assert ("head", "right") not in edges
+        assert ("entry", "head") not in edges
+
+
+class TestForwardBranch:
+    def test_diamond_branch_is_forward(self):
+        func = diamond_with_loop()
+        assert is_forward_branch(func, func.block("head"))
+
+    def test_loop_latch_is_backward(self):
+        func = diamond_with_loop()
+        assert not is_forward_branch(func, func.block("merge"))
+
+    def test_non_branch_block(self):
+        func = diamond_with_loop()
+        assert not is_forward_branch(func, func.block("left"))
+
+    def test_conditional_branch_blocks(self):
+        func = diamond_with_loop()
+        assert sorted(conditional_branch_blocks(func)) == ["head", "merge"]
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        func = diamond_with_loop()
+        dom = dominators(func)
+        for name in func.layout():
+            assert "entry" in dom[name]
+
+    def test_branch_sides_do_not_dominate_merge(self):
+        func = diamond_with_loop()
+        dom = dominators(func)
+        assert "left" not in dom["merge"]
+        assert "right" not in dom["merge"]
+        assert "head" in dom["merge"]

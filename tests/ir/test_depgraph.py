@@ -1,0 +1,121 @@
+"""Dependence DAG construction and hoist-legality analysis."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import available_above, build_depgraph
+from repro.isa import Instruction, Opcode
+
+ALL_REGS = set(range(64))
+
+
+def add(dest, *srcs, imm=None):
+    return Instruction(opcode=Opcode.ADD, dest=dest, srcs=srcs, imm=imm)
+
+
+def load(dest, base, offset=0):
+    return Instruction(opcode=Opcode.LOAD, dest=dest, srcs=(base,), imm=offset)
+
+
+def store(src, base, offset=0):
+    return Instruction(opcode=Opcode.STORE, srcs=(src, base), imm=offset)
+
+
+class TestEdges:
+    def test_raw(self):
+        g = build_depgraph([add(1, 2), add(3, 1)])
+        assert 1 in g.successors(0)
+
+    def test_war(self):
+        # inst0 reads r1, inst1 writes r1 -> 1 must stay after 0.
+        g = build_depgraph([add(2, 1), add(1, 3)])
+        assert 1 in g.successors(0)
+
+    def test_waw(self):
+        g = build_depgraph([add(1, 2), add(1, 3)])
+        assert 1 in g.successors(0)
+
+    def test_independent_ops_unordered(self):
+        g = build_depgraph([add(1, 2), add(3, 4)])
+        assert g.successors(0) == set()
+        assert g.predecessors(1) == set()
+
+    def test_loads_reorder_freely(self):
+        g = build_depgraph([load(1, 10), load(2, 10)])
+        assert g.successors(0) == set()
+
+    def test_store_orders_against_later_load(self):
+        g = build_depgraph([store(1, 10), load(2, 11)])
+        assert 1 in g.successors(0)
+
+    def test_load_then_store_ordered(self):
+        g = build_depgraph([load(2, 11), store(1, 10)])
+        assert 1 in g.successors(0)
+
+    def test_store_store_ordered(self):
+        g = build_depgraph([store(1, 10), store(2, 11)])
+        assert 1 in g.successors(0)
+
+
+class TestCriticalPath:
+    def test_chain_lengths(self):
+        body = [load(1, 10), add(2, 1), add(3, 2)]
+        g = build_depgraph(body)
+        lengths = g.critical_path_lengths()
+        assert lengths == [6, 2, 1]  # load(4)+add(1)+add(1)
+
+    def test_roots(self):
+        g = build_depgraph([add(1, 2), add(3, 1), add(4, 5)])
+        assert set(g.roots()) == {0, 2}
+
+
+class TestAvailableAbove:
+    def test_simple_prefix(self):
+        body = [load(1, 10), add(2, 1), store(2, 10)]
+        assert available_above(body, ALL_REGS) == [0, 1]
+
+    def test_store_ends_upper_portion(self):
+        """Fig. 5c: the hoistable region is strictly the upper portion."""
+        body = [load(1, 10), store(1, 10), add(2, 3)]
+        assert available_above(body, ALL_REGS) == [0]
+
+    def test_unavailable_source_blocks(self):
+        # r1 defined by a skipped instruction (not in defined_above).
+        body = [add(1, 2), add(3, 1)]
+        assert available_above(body, {2}) == [0, 1]
+        assert available_above(body, set()) == []
+
+    def test_chained_availability(self):
+        body = [add(1, 2), add(3, 1), add(4, 3)]
+        assert available_above(body, {2}) == [0, 1, 2]
+
+    def test_war_with_skipped_instruction_blocks(self):
+        # inst0 unavailable (reads r9 which is not defined above); inst1
+        # writes r9, which inst0 reads -> hoisting inst1 would break inst0.
+        body = [add(1, 9), add(9, 2)]
+        result = available_above(body, {2})
+        assert 1 not in result
+
+    def test_waw_with_skipped_instruction_blocks(self):
+        # inst0 writes r5 but is unavailable; inst1 also writes r5.
+        body = [add(5, 9), add(5, 2)]
+        result = available_above(body, {2})
+        assert 1 not in result
+
+    def test_read_of_skipped_write_blocks(self):
+        # inst0 unavailable, writes r5; inst1 reads r5 -> must not hoist.
+        body = [add(5, 9), add(6, 5)]
+        assert available_above(body, {2, 5}) == []
+
+    @given(st.lists(st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                    min_size=0, max_size=12))
+    def test_hoisted_set_is_dependence_closed(self, pairs):
+        """Property: every source of a hoisted instruction is defined
+        above or by an earlier hoisted instruction."""
+        body = [add(d, s) for d, s in pairs]
+        defined_above = {1, 2, 3}
+        chosen = available_above(body, set(defined_above))
+        produced = set(defined_above)
+        for index in chosen:
+            for src in body[index].srcs:
+                assert src in produced
+            produced.add(body[index].dest)

@@ -1,0 +1,103 @@
+"""Liveness analysis: the legality oracle for speculative renaming."""
+
+from repro.ir import (
+    FunctionBuilder,
+    analyze_liveness,
+    block_use_def,
+    defs,
+    registers_referenced,
+    registers_written,
+    uses,
+)
+from repro.isa import Instruction, Opcode
+
+
+def add(dest, *srcs, imm=None):
+    return Instruction(opcode=Opcode.ADD, dest=dest, srcs=srcs, imm=imm)
+
+
+class TestUseDef:
+    def test_uses_and_defs(self):
+        i = add(3, 1, 2)
+        assert uses(i) == frozenset({1, 2})
+        assert defs(i) == frozenset({3})
+
+    def test_store_has_no_def(self):
+        store = Instruction(opcode=Opcode.STORE, srcs=(1, 2))
+        assert defs(store) == frozenset()
+        assert uses(store) == frozenset({1, 2})
+
+    def test_block_use_def_upward_exposure(self):
+        # r1 is defined before use -> not upward-exposed; r2 is.
+        insts = [add(1, 2), add(3, 1)]
+        used, defined = block_use_def(insts)
+        assert used == {2}
+        assert defined == {1, 3}
+
+
+def diamond():
+    """A defines r10 used in C only; B defines r11 read in merge."""
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(10, 7)
+    a.li(1, 1)
+    a.bnz(1, target="c", fallthrough="b", branch_id=0)
+    b = fb.block("b")
+    b.li(11, 8)
+    b.jmp("m")
+    c = fb.block("c")
+    c.add(11, 10, imm=0)  # uses r10
+    c.block.fallthrough = "m"
+    m = fb.block("m")
+    m.add(12, 11, imm=0)  # uses r11 from either side
+    m.halt()
+    return fb.build()
+
+
+class TestLiveness:
+    def test_value_live_into_taken_path_only(self):
+        func = diamond()
+        result = analyze_liveness(func)
+        assert 10 in result.live_in["c"]
+        assert 10 not in result.live_in["b"]
+
+    def test_merged_value_live_out_of_both_sides(self):
+        func = diamond()
+        result = analyze_liveness(func)
+        assert 11 in result.live_out["b"]
+        assert 11 in result.live_out["c"]
+        assert 11 in result.live_in["m"]
+
+    def test_nothing_live_out_of_exit(self):
+        func = diamond()
+        result = analyze_liveness(func)
+        assert result.live_out["m"] == frozenset()
+
+    def test_loop_liveness_reaches_fixed_point(self):
+        fb = FunctionBuilder("loop")
+        init = fb.block("init")
+        init.li(1, 0)
+        init.li(2, 10)
+        init.block.fallthrough = "body"
+        body = fb.block("body")
+        body.add(1, 1, imm=1)  # r1 live around the loop
+        body.cmp_lt(3, 1, 2)  # r2 live around the loop
+        body.bnz(3, target="body", fallthrough="done", branch_id=0)
+        done = fb.block("done")
+        done.halt()
+        func = fb.build()
+        result = analyze_liveness(func)
+        assert 1 in result.live_in["body"]
+        assert 2 in result.live_in["body"]
+        assert 1 in result.live_out["body"]
+
+
+class TestWholeFunction:
+    def test_registers_written(self):
+        func = diamond()
+        assert registers_written(func) == {10, 1, 11, 12}
+
+    def test_registers_referenced_includes_reads(self):
+        func = diamond()
+        refs = registers_referenced(func)
+        assert {10, 1, 11, 12} <= refs

@@ -1,0 +1,99 @@
+"""Lowering: layout, fall-through adjacency, and JMP materialisation."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, IRError, lower
+from repro.isa import Opcode
+from repro.uarch import execute
+
+
+def test_adjacent_fallthrough_needs_no_jmp():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 1)
+    a.block.fallthrough = "b"
+    b = fb.block("b")
+    b.halt()
+    program = lower(fb.build())
+    assert [i.opcode for i in program.instructions] == [Opcode.LI, Opcode.HALT]
+
+
+def test_nonadjacent_fallthrough_materialises_jmp():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 1)
+    a.block.fallthrough = "c"  # skips b in layout
+    b = fb.block("b")
+    b.li(2, 2)
+    b.block.fallthrough = "c"
+    c = fb.block("c")
+    c.halt()
+    program = lower(fb.build())
+    ops = [i.opcode for i in program.instructions]
+    assert Opcode.JMP in ops
+    # Execution still reaches HALT without touching block b's LI.
+    result = execute(program)
+    assert result.halted
+    assert result.registers[2] == 0
+
+
+def test_conditional_branch_fallthrough_jmp():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 0)
+    a.bnz(1, target="t", fallthrough="f2", branch_id=0)
+    t = fb.block("t")
+    t.halt()
+    f2 = fb.block("f2")
+    f2.halt()
+    program = lower(fb.build())
+    # not-taken must reach f2 even though t is adjacent.
+    result = execute(program)
+    assert result.halted
+
+
+def test_labels_point_to_block_starts():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 1)
+    a.li(2, 2)
+    a.block.fallthrough = "b"
+    b = fb.block("b")
+    b.halt()
+    program = lower(fb.build())
+    assert program.labels["a"] == 0
+    assert program.labels["b"] == 2
+
+
+def test_data_segment_propagates():
+    fb = FunctionBuilder("f")
+    fb.data(100, [7, 8])
+    a = fb.block("a")
+    a.halt()
+    program = lower(fb.build())
+    assert program.data[100] == 7
+    assert program.data[101] == 8
+
+
+def test_validate_catches_dangling_fallthrough():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 1)
+    a.block.fallthrough = "ghost"
+    with pytest.raises(IRError):
+        lower(fb.function)
+
+
+def test_final_block_without_exit_rejected():
+    fb = FunctionBuilder("f")
+    a = fb.block("a")
+    a.li(1, 1)  # no terminator, no fallthrough
+    with pytest.raises(IRError):
+        lower(fb.function)
+
+
+def test_program_name_matches_function():
+    fb = FunctionBuilder("myfunc")
+    a = fb.block("a")
+    a.halt()
+    assert lower(fb.build()).name == "myfunc"

@@ -1,0 +1,126 @@
+"""Textual assembly: print/parse round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    AsmSyntaxError,
+    Instruction,
+    Opcode,
+    assemble,
+    program_to_text,
+    text_to_program,
+)
+from repro.uarch import execute
+
+
+def roundtrip(program):
+    return text_to_program(program_to_text(program), name=program.name)
+
+
+class TestPrinting:
+    def test_memory_operand_syntax(self):
+        program = assemble(
+            [
+                Instruction(opcode=Opcode.LOAD, dest=1, srcs=(2,), imm=16),
+                Instruction(opcode=Opcode.STORE, srcs=(3, 4), imm=8),
+                Instruction(opcode=Opcode.HALT),
+            ],
+            {},
+        )
+        text = program_to_text(program)
+        assert "load r1, [r2+16]" in text
+        assert "store r3, [r4+8]" in text
+
+    def test_annotations_rendered(self):
+        program = assemble(
+            [
+                Instruction(opcode=Opcode.LOAD, dest=1, srcs=(2,), imm=0,
+                            speculative=True, hoisted=True),
+                Instruction(opcode=Opcode.RESOLVE_NZ, srcs=(5,), target=0,
+                            branch_id=3, predicted_dir=True),
+                Instruction(opcode=Opcode.HALT),
+            ],
+            {},
+        )
+        text = program_to_text(program)
+        assert "load+" in text and "!" in text
+        assert "b3" in text and "pT" in text
+
+    def test_data_directives(self):
+        program = assemble(
+            [Instruction(opcode=Opcode.HALT)], {}, data={7: 42, 9: 1.5}
+        )
+        text = program_to_text(program)
+        assert ".data 7 42" in text
+        assert ".data 9 1.5" in text
+
+
+class TestParsing:
+    def test_labels_resolve(self):
+        text = """
+        start:
+            jmp start
+        """
+        program = text_to_program(text)
+        assert program.instructions[0].target == 0
+
+    def test_comments_ignored(self):
+        program = text_to_program("; comment\n    halt ; trailing\n")
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            text_to_program("    frobnicate r1\n")
+
+    def test_bad_immediate_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            text_to_program("    add r1, r2, #lots\n")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            text_to_program("a:\na:\n    halt\n")
+
+    def test_malformed_data_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            text_to_program(".data 5\n")
+
+
+class TestRoundTrip:
+    def test_decomposed_program_roundtrips_exactly(self):
+        from repro.compiler import compile_baseline, compile_decomposed
+        from repro.workloads import omnetpp_carray_add
+
+        func = omnetpp_carray_add(iterations=64)
+        baseline = compile_baseline(func)
+        decomposed = compile_decomposed(func, profile=baseline.profile)
+        recovered = roundtrip(decomposed.program)
+        assert recovered.instructions == decomposed.program.instructions
+        assert recovered.data == decomposed.program.data
+        assert (
+            execute(recovered).memory_snapshot()
+            == execute(decomposed.program).memory_snapshot()
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.sampled_from([Opcode.ADD, Opcode.XOR, Opcode.MUL, Opcode.SEL,
+                             Opcode.CMP_LT, Opcode.MOV]),
+            min_size=1,
+            max_size=10,
+        ),
+        regs=st.lists(st.integers(0, 63), min_size=3, max_size=3),
+    )
+    def test_arbitrary_alu_programs_roundtrip(self, ops, regs):
+        insts = []
+        for op in ops:
+            srcs = tuple(regs[1:]) if op is not Opcode.SEL else (
+                regs[0], regs[1], regs[2]
+            )
+            insts.append(
+                Instruction(opcode=op, dest=regs[0], srcs=srcs, imm=7)
+            )
+        insts.append(Instruction(opcode=Opcode.HALT))
+        program = assemble(insts, {})
+        assert roundtrip(program).instructions == program.instructions

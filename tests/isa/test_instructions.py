@@ -1,0 +1,142 @@
+"""Instruction classification, latency, and control-flow helpers."""
+
+import pytest
+
+from repro.isa import (
+    FuClass,
+    INSTRUCTION_BYTES,
+    Instruction,
+    LATENCY,
+    Opcode,
+    branch_taken,
+    resolve_diverts,
+)
+
+
+def inst(op, **kw):
+    return Instruction(opcode=op, **kw)
+
+
+class TestClassification:
+    def test_alu_ops(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.MUL,
+                   Opcode.MOV, Opcode.LI, Opcode.CMP_LT):
+            assert inst(op, dest=1).is_alu
+
+    def test_fp_ops(self):
+        for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+            assert inst(op, dest=1).is_fp
+            assert not inst(op, dest=1).is_alu
+
+    def test_memory_ops(self):
+        load = inst(Opcode.LOAD, dest=1, srcs=(2,))
+        store = inst(Opcode.STORE, srcs=(1, 2))
+        assert load.is_load and load.is_mem and not load.is_store
+        assert store.is_store and store.is_mem and not store.is_load
+
+    def test_control_ops(self):
+        assert inst(Opcode.BNZ, srcs=(1,), target=0).is_cond_branch
+        assert inst(Opcode.BZ, srcs=(1,), target=0).is_cond_branch
+        assert inst(Opcode.RESOLVE_NZ, srcs=(1,), target=0).is_resolve
+        assert inst(Opcode.RESOLVE_Z, srcs=(1,), target=0).is_resolve
+        assert inst(Opcode.PREDICT, target=0).is_predict
+        for op in (Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.PREDICT,
+                   Opcode.BNZ, Opcode.RESOLVE_Z):
+            assert inst(op, srcs=(1,), target=0).is_control
+
+    def test_terminators_include_halt(self):
+        assert inst(Opcode.HALT).is_terminator
+        assert inst(Opcode.JMP, target=0).is_terminator
+        assert not inst(Opcode.ADD, dest=1, srcs=(2,)).is_terminator
+
+    def test_resolve_is_not_cond_branch(self):
+        # A RESOLVE is always predicted not-taken, never via the BTB path.
+        assert not inst(Opcode.RESOLVE_NZ, srcs=(1,), target=0).is_cond_branch
+
+
+class TestFuClasses:
+    def test_predict_consumes_no_backend_slot(self):
+        assert inst(Opcode.PREDICT, target=0).fu_class is FuClass.NONE
+
+    def test_nop_and_halt(self):
+        assert inst(Opcode.NOP).fu_class is FuClass.NONE
+        assert inst(Opcode.HALT).fu_class is FuClass.NONE
+
+    def test_mem_class(self):
+        assert inst(Opcode.LOAD, dest=1, srcs=(2,)).fu_class is FuClass.MEM
+        assert inst(Opcode.STORE, srcs=(1, 2)).fu_class is FuClass.MEM
+
+    def test_fp_class(self):
+        assert inst(Opcode.FMUL, dest=1, srcs=(2, 3)).fu_class is FuClass.FP
+
+    def test_branches_use_int_ports(self):
+        assert inst(Opcode.BNZ, srcs=(1,), target=0).fu_class is FuClass.INT
+        assert inst(Opcode.RESOLVE_Z, srcs=(1,), target=0).fu_class is FuClass.INT
+
+
+class TestLatency:
+    def test_defaults_and_overrides(self):
+        assert inst(Opcode.ADD, dest=1, srcs=(2,)).latency == 1
+        assert inst(Opcode.MUL, dest=1, srcs=(2,)).latency == 3
+        assert inst(Opcode.DIV, dest=1, srcs=(2,)).latency == 12
+        assert inst(Opcode.FADD, dest=1, srcs=(2,)).latency == 4
+        assert inst(Opcode.FDIV, dest=1, srcs=(2,)).latency == 12
+
+    def test_load_static_latency_is_l1_hit(self):
+        # The scheduler's priority function relies on this.
+        assert LATENCY[Opcode.LOAD] == 4
+        assert inst(Opcode.LOAD, dest=1, srcs=(2,)).latency == 4
+
+    def test_instruction_bytes(self):
+        assert INSTRUCTION_BYTES == 4
+
+
+class TestControlHelpers:
+    @pytest.mark.parametrize("value,expected", [(0, False), (1, True), (-3, True)])
+    def test_bnz(self, value, expected):
+        assert branch_taken(Opcode.BNZ, value) is expected
+
+    @pytest.mark.parametrize("value,expected", [(0, True), (1, False)])
+    def test_bz(self, value, expected):
+        assert branch_taken(Opcode.BZ, value) is expected
+
+    def test_branch_taken_rejects_non_branches(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADD, 1)
+
+    @pytest.mark.parametrize("value,expected", [(0, False), (1, True)])
+    def test_resolve_nz(self, value, expected):
+        assert resolve_diverts(Opcode.RESOLVE_NZ, value) is expected
+
+    @pytest.mark.parametrize("value,expected", [(0, True), (1, False)])
+    def test_resolve_z(self, value, expected):
+        assert resolve_diverts(Opcode.RESOLVE_Z, value) is expected
+
+    def test_resolve_diverts_rejects_non_resolves(self):
+        with pytest.raises(ValueError):
+            resolve_diverts(Opcode.BNZ, 1)
+
+
+class TestImmutability:
+    def test_with_target_returns_new_instruction(self):
+        original = inst(Opcode.JMP, target="label")
+        resolved = original.with_target(42)
+        assert original.target == "label"
+        assert resolved.target == 42
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            inst(Opcode.ADD, dest=1).dest = 2
+
+    def test_reads_and_writes(self):
+        i = inst(Opcode.ADD, dest=3, srcs=(1, 2))
+        assert i.reads() == (1, 2)
+        assert i.writes() == 3
+
+    def test_str_includes_annotations(self):
+        i = inst(
+            Opcode.LOAD, dest=1, srcs=(2,), imm=4,
+            speculative=True, hoisted=True, branch_id=7,
+        )
+        text = str(i)
+        assert "load" in text and "+" in text and "h" in text and "b7" in text

@@ -1,0 +1,68 @@
+"""Program container: label resolution, size accounting, disassembly."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    INSTRUCTION_BYTES,
+    Instruction,
+    Opcode,
+    assemble,
+)
+
+
+def jmp(target):
+    return Instruction(opcode=Opcode.JMP, target=target)
+
+
+def halt():
+    return Instruction(opcode=Opcode.HALT)
+
+
+def add(dest, src, imm):
+    return Instruction(opcode=Opcode.ADD, dest=dest, srcs=(src,), imm=imm)
+
+
+class TestAssemble:
+    def test_resolves_labels(self):
+        program = assemble([jmp("end"), add(1, 1, 1), halt()], {"end": 2})
+        assert program.instructions[0].target == 2
+
+    def test_numeric_targets_pass_through(self):
+        program = assemble([jmp(2), add(1, 1, 1), halt()], {})
+        assert program.instructions[0].target == 2
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble([jmp("missing")], {})
+
+    def test_data_segment_copied(self):
+        data = {10: 5}
+        program = assemble([halt()], {}, data=data)
+        data[10] = 99
+        assert program.data[10] == 5
+
+    def test_static_size(self):
+        program = assemble([add(1, 1, 1), halt()], {})
+        assert program.static_size_bytes == 2 * INSTRUCTION_BYTES
+        assert len(program) == 2
+
+
+class TestDisassembly:
+    def test_labels_shown(self):
+        program = assemble(
+            [add(1, 1, 1), jmp("loop"), halt()], {"loop": 0}
+        )
+        text = program.disassemble()
+        assert "loop:" in text
+        assert "-> loop" in text
+
+    def test_label_at(self):
+        program = assemble([add(1, 1, 1), halt()], {"start": 0})
+        assert program.label_at(0) == "start"
+        assert program.label_at(1) is None
+
+    def test_windowed_disassembly(self):
+        program = assemble([add(1, 1, i) for i in range(10)] + [halt()], {})
+        text = program.disassemble(start=2, count=3)
+        assert "#2" in text and "#4" in text and "#5" not in text

@@ -1,0 +1,76 @@
+"""Register file and 64-bit wrap semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    FIRST_TEMP_REGISTER,
+    LINK_REGISTER,
+    NUM_REGISTERS,
+    RegisterFile,
+    wrap_int,
+)
+
+
+class TestWrapInt:
+    def test_small_values_unchanged(self):
+        assert wrap_int(0) == 0
+        assert wrap_int(123) == 123
+        assert wrap_int(-5) == -5
+
+    def test_wraps_at_63_bits(self):
+        assert wrap_int(1 << 63) == -(1 << 63)
+        assert wrap_int((1 << 63) - 1) == (1 << 63) - 1
+        assert wrap_int(1 << 64) == 0
+
+    @given(st.integers())
+    def test_always_in_signed_64_range(self, value):
+        wrapped = wrap_int(value)
+        assert -(1 << 63) <= wrapped < (1 << 63)
+
+    @given(st.integers(), st.integers())
+    def test_addition_homomorphic_mod_2_64(self, a, b):
+        assert wrap_int(wrap_int(a) + wrap_int(b)) == wrap_int(a + b)
+
+
+class TestRegisterFile:
+    def test_zero_initialised(self):
+        regs = RegisterFile()
+        assert all(regs.read(i) == 0 for i in range(NUM_REGISTERS))
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(5, 42)
+        assert regs.read(5) == 42
+
+    def test_write_wraps_integers(self):
+        regs = RegisterFile()
+        regs.write(1, 1 << 64)
+        assert regs.read(1) == 0
+
+    def test_floats_pass_through(self):
+        regs = RegisterFile()
+        regs.write(2, 3.5)
+        assert regs.read(2) == 3.5
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile()
+        regs.write(0, 9)
+        snap = regs.snapshot()
+        regs.write(0, 10)
+        assert snap[0] == 9
+
+    def test_load_many(self):
+        regs = RegisterFile()
+        regs.load_many([1, 2, 3])
+        assert [regs.read(i) for i in range(3)] == [1, 2, 3]
+
+    def test_out_of_range_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(IndexError):
+            regs.read(NUM_REGISTERS)
+
+    def test_register_space_layout(self):
+        assert 0 < FIRST_TEMP_REGISTER < LINK_REGISTER < NUM_REGISTERS
+        # At least a dozen speculation temporaries are reserved.
+        assert LINK_REGISTER - FIRST_TEMP_REGISTER >= 12

@@ -1,0 +1,94 @@
+"""Set-associative cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import Cache
+
+
+def make(size=1024, assoc=2, line=64):
+    return Cache("test", size, assoc, line)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_same_line_hits(self):
+        cache = make()
+        cache.access(0)
+        assert cache.access(63) is True  # same 64B line
+        assert cache.access(64) is False  # next line
+
+    def test_stats(self):
+        cache = make()
+        cache.access(0)
+        cache.access(0)
+        cache.access(128)
+        assert cache.accesses == 3 and cache.hits == 1 and cache.misses == 2
+        assert abs(cache.miss_rate - 2 / 3) < 1e-12
+
+    def test_reset_stats(self):
+        cache = make()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.probe(0)  # contents survive
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        # 1024B, 2-way, 64B lines -> 8 sets; lines k*8 map to set 0.
+        cache = make()
+        set_stride = 8 * 64
+        cache.access(0 * set_stride)
+        cache.access(1 * set_stride)
+        cache.access(0 * set_stride)  # touch 0: now 1 is LRU
+        cache.access(2 * set_stride)  # evicts 1
+        assert cache.probe(0 * set_stride)
+        assert not cache.probe(1 * set_stride)
+        assert cache.probe(2 * set_stride)
+
+    def test_associativity_bound(self):
+        cache = make(assoc=2)
+        set_stride = 8 * 64
+        for way in range(3):
+            cache.access(way * set_stride)
+        resident = sum(
+            cache.probe(way * set_stride) for way in range(3)
+        )
+        assert resident == 2
+
+
+class TestGeometry:
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 2, 64)
+
+    def test_non_power_of_two_sets_allowed(self):
+        # The Section 6.1 24KB I-cache has 96 sets.
+        cache = Cache("l1i-24k", 24 * 1024, 4, 64)
+        assert cache.num_sets == 96
+        cache.access(0)
+        assert cache.access(0)
+
+    def test_install_does_not_count_stats(self):
+        cache = make()
+        cache.install(0)
+        assert cache.accesses == 0
+        assert cache.access(0) is True  # prefetched line present
+
+    def test_install_idempotent(self):
+        cache = make()
+        cache.install(0)
+        cache.install(0)
+        assert cache.probe(0)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = make(size=4096, assoc=4)
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address) is True

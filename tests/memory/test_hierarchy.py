@@ -1,0 +1,91 @@
+"""Memory hierarchy timing (Table 1 latencies, miss buffer, prefetch)."""
+
+from repro.memory import HierarchyConfig, MemoryHierarchy
+
+
+def make(prefetch=False, **kw):
+    return MemoryHierarchy(HierarchyConfig(next_line_prefetch=prefetch, **kw))
+
+
+class TestLatencies:
+    def test_l1_hit_is_4_cycles(self):
+        h = make()
+        h.access_data(0, 0)  # warm
+        assert h.access_data(0, 100) == 104
+
+    def test_cold_miss_pays_dram(self):
+        h = make()
+        assert h.access_data(0, 0) == 140
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make()
+        h.access_data(0, 0)
+        # Evict line 0 from the 8-way L1 set by touching 8 conflicting
+        # lines (same L1 set: stride = sets*line = 64*64).
+        for k in range(1, 9):
+            h.access_data(k * 64 * 64, 0)
+        assert h.access_data(0, 1000) == 1012  # L2 hit
+
+    def test_l3_hit_path(self):
+        h = make()
+        h.access_data(0, 0)
+        # Evict from both L1 and L2 (L2: 16 ways, 256 sets).
+        for k in range(1, 20):
+            h.access_data(k * 256 * 64, 0)
+        assert h.access_data(0, 5000) == 5025
+
+    def test_inst_hits_are_free(self):
+        h = make()
+        h.access_inst(0, 0)
+        assert h.access_inst(0, 50) == 50
+
+    def test_inst_cold_miss(self):
+        h = make()
+        assert h.access_inst(0, 0) == 140
+
+
+class TestMissBuffer:
+    def test_limit_delays_excess_misses(self):
+        h = make(miss_buffer_entries=2)
+        t1 = h.access_data(0 * 4096, 0)
+        t2 = h.access_data(1 * 4096, 0)
+        t3 = h.access_data(2 * 4096, 0)  # must wait for a free entry
+        assert t1 == 140 and t2 == 140
+        assert t3 == 280
+
+    def test_entries_free_over_time(self):
+        h = make(miss_buffer_entries=1)
+        first = h.access_data(0 * 4096, 0)
+        assert h.access_data(1 * 4096, first + 1) == first + 1 + 140
+
+
+class TestPrefetch:
+    def test_next_line_installed_on_miss(self):
+        h = make(prefetch=True)
+        h.access_data(0, 0)  # miss; installs line at +64
+        assert h.access_data(64, 500) == 504  # L1 hit
+
+    def test_no_prefetch_when_disabled(self):
+        h = make(prefetch=False)
+        h.access_data(0, 0)
+        assert h.access_data(64, 500) == 640  # cold DRAM miss
+
+    def test_prefetch_useless_for_strided_walk(self):
+        h = make(prefetch=True)
+        stride = 17 * 64
+        results = [h.access_data(k * stride, k * 1000) for k in range(4)]
+        assert all(done - k * 1000 == 140 for k, done in enumerate(results))
+
+
+class TestStats:
+    def test_miss_rates(self):
+        h = make()
+        h.access_data(0, 0)
+        h.access_data(0, 10)
+        assert h.data_miss_rate() == 0.5
+
+    def test_reset(self):
+        h = make()
+        h.access_data(0, 0)
+        h.reset_stats()
+        assert h.l1d.accesses == 0

@@ -1,0 +1,87 @@
+"""Front-end details: BTB bubbles, I-cache misses, fetch grouping."""
+
+from repro.isa import Instruction, Opcode, assemble
+from repro.uarch import InOrderCore, MachineConfig
+from tests.conftest import tiny_program
+
+
+def I(op, **kw):  # noqa: E743
+    return Instruction(opcode=op, **kw)
+
+
+def run(program, config=None, **kw):
+    return InOrderCore(config or MachineConfig.paper_default()).run(
+        program, **kw
+    )
+
+
+class TestBTB:
+    def loop(self, iterations):
+        return assemble(
+            [
+                I(Opcode.LI, dest=1, imm=0),
+                I(Opcode.LI, dest=2, imm=iterations),
+                I(Opcode.ADD, dest=1, srcs=(1,), imm=1),  # head
+                I(Opcode.CMP_LT, dest=3, srcs=(1, 2)),
+                I(Opcode.BNZ, srcs=(3,), target="head", branch_id=0),
+                I(Opcode.HALT),
+            ],
+            {"head": 2},
+        )
+
+    def test_btb_miss_bubble_only_on_first_taken_visit(self):
+        result = run(self.loop(100))
+        # One cold BTB miss; subsequent taken redirects hit.
+        assert result.stats.btb_miss_bubbles <= 3
+        assert result.stats.taken_redirects > 90
+
+
+class TestICache:
+    def test_large_code_footprint_misses(self):
+        # ~3000 instructions = ~12 KB of code: several line misses.
+        body = [I(Opcode.ADD, dest=1 + (k % 8), srcs=(0,), imm=k)
+                for k in range(3000)]
+        result = run(tiny_program(*body))
+        assert result.stats.icache_misses > 100
+
+    def test_small_loop_warm_icache(self):
+        program = assemble(
+            [
+                I(Opcode.LI, dest=1, imm=0),
+                I(Opcode.LI, dest=2, imm=200),
+                I(Opcode.ADD, dest=1, srcs=(1,), imm=1),
+                I(Opcode.CMP_LT, dest=3, srcs=(1, 2)),
+                I(Opcode.BNZ, srcs=(3,), target=2, branch_id=0),
+                I(Opcode.HALT),
+            ],
+            {},
+        )
+        result = run(program)
+        assert result.stats.icache_misses <= 2
+
+
+class TestFetchGrouping:
+    def test_narrow_fetch_paces_straightline_code(self):
+        body = [I(Opcode.NOP) for _ in range(64)]
+        slow = run(tiny_program(*body), MachineConfig.paper_default(2))
+        fast = run(tiny_program(*body), MachineConfig.paper_default(8))
+        # NOPs never issue, so cycles are fetch-bound: 2-wide needs more.
+        assert slow.cycles > fast.cycles
+
+    def test_fetch_buffer_gates_runahead(self):
+        """With a stalled head instruction, fetch cannot run more than
+        fetch_buffer entries ahead."""
+        from dataclasses import replace
+
+        body = [
+            I(Opcode.LI, dest=1, imm=100),
+            I(Opcode.LOAD, dest=2, srcs=(1,)),  # DRAM-cold
+            I(Opcode.ADD, dest=3, srcs=(2,)),
+        ] + [I(Opcode.ADD, dest=4 + (k % 4), srcs=(0,), imm=k)
+             for k in range(64)]
+        wide = MachineConfig.paper_default()
+        tight = replace(wide, fetch_buffer_entries=4)
+        result_tight = run(tiny_program(*body), tight)
+        result_wide = run(tiny_program(*body), wide)
+        assert result_tight.stats.halted and result_wide.stats.halted
+        assert result_tight.cycles >= result_wide.cycles

@@ -1,0 +1,181 @@
+"""Timing-free functional executor semantics."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, assemble
+from repro.uarch import (
+    SimulationError,
+    always_not_taken,
+    always_taken,
+    collect_branch_trace,
+    execute,
+)
+from tests.conftest import tiny_program
+
+
+def I(op, **kw):  # noqa: E743 - terse test helper
+    return Instruction(opcode=op, **kw)
+
+
+class TestArithmetic:
+    def test_li_add_sub(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=10),
+            I(Opcode.ADD, dest=2, srcs=(1,), imm=5),
+            I(Opcode.SUB, dest=3, srcs=(2, 1)),
+        )
+        result = execute(program)
+        assert result.registers[2] == 15
+        assert result.registers[3] == 5
+
+    def test_mul_div(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=7),
+            I(Opcode.MUL, dest=2, srcs=(1,), imm=6),
+            I(Opcode.DIV, dest=3, srcs=(2,), imm=5),
+            I(Opcode.DIV, dest=4, srcs=(2,), imm=0),  # defined: 0
+        )
+        result = execute(program)
+        assert result.registers[2] == 42
+        assert result.registers[3] == 8
+        assert result.registers[4] == 0
+
+    def test_div_truncates_toward_zero(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=-7),
+            I(Opcode.DIV, dest=2, srcs=(1,), imm=2),
+        )
+        assert execute(program).registers[2] == -3
+
+    def test_logical_and_shifts(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=0b1100),
+            I(Opcode.AND, dest=2, srcs=(1,), imm=0b1010),
+            I(Opcode.OR, dest=3, srcs=(1,), imm=0b0011),
+            I(Opcode.XOR, dest=4, srcs=(1,), imm=0b1111),
+            I(Opcode.SHL, dest=5, srcs=(1,), imm=2),
+            I(Opcode.SHR, dest=6, srcs=(1,), imm=2),
+        )
+        result = execute(program)
+        assert result.registers[2] == 0b1000
+        assert result.registers[3] == 0b1111
+        assert result.registers[4] == 0b0011
+        assert result.registers[5] == 0b110000
+        assert result.registers[6] == 0b11
+
+    def test_fp_ops(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=1.5),
+            I(Opcode.FADD, dest=2, srcs=(1,), imm=2.5),
+            I(Opcode.FMUL, dest=3, srcs=(2, 2)),
+        )
+        result = execute(program)
+        assert result.registers[2] == 4.0
+        assert result.registers[3] == 16.0
+
+    def test_compares(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=3),
+            I(Opcode.CMP_LT, dest=2, srcs=(1,), imm=5),
+            I(Opcode.CMP_GE, dest=3, srcs=(1,), imm=5),
+            I(Opcode.CMP_EQ, dest=4, srcs=(1,), imm=3),
+        )
+        result = execute(program)
+        assert result.registers[2] == 1
+        assert result.registers[3] == 0
+        assert result.registers[4] == 1
+
+
+class TestMemoryAndControl:
+    def test_load_store(self):
+        program = tiny_program(
+            I(Opcode.LI, dest=1, imm=100),
+            I(Opcode.LI, dest=2, imm=77),
+            I(Opcode.STORE, srcs=(2, 1), imm=5),
+            I(Opcode.LOAD, dest=3, srcs=(1,), imm=5),
+        )
+        result = execute(program)
+        assert result.registers[3] == 77
+        assert dict(result.memory_snapshot())[105] == 77
+
+    def test_branch_taken_and_not(self):
+        program = assemble(
+            [
+                I(Opcode.LI, dest=1, imm=1),
+                I(Opcode.BNZ, srcs=(1,), target="skip"),
+                I(Opcode.LI, dest=2, imm=99),  # skipped
+                I(Opcode.LI, dest=3, imm=5),
+                I(Opcode.HALT),
+            ],
+            {"skip": 3},
+        )
+        result = execute(program)
+        assert result.registers[2] == 0
+        assert result.registers[3] == 5
+
+    def test_call_ret(self):
+        program = assemble(
+            [
+                I(Opcode.CALL, dest=63, target="fn"),
+                I(Opcode.HALT),
+                I(Opcode.LI, dest=1, imm=42),  # fn:
+                I(Opcode.RET, srcs=(63,)),
+            ],
+            {"fn": 2},
+        )
+        result = execute(program)
+        assert result.halted
+        assert result.registers[1] == 42
+
+    def test_predict_respects_policy(self):
+        program = assemble(
+            [
+                I(Opcode.PREDICT, target="taken", branch_id=0),
+                I(Opcode.LI, dest=1, imm=1),  # not-taken path
+                I(Opcode.HALT),
+                I(Opcode.LI, dest=2, imm=2),  # taken:
+                I(Opcode.HALT),
+            ],
+            {"taken": 3},
+        )
+        assert execute(program, predict_policy=always_taken).registers[2] == 2
+        assert execute(program, predict_policy=always_not_taken).registers[1] == 1
+
+    def test_resolve_diverts_on_mismatch(self):
+        program = assemble(
+            [
+                I(Opcode.LI, dest=1, imm=1),
+                I(Opcode.RESOLVE_NZ, srcs=(1,), target="fix",
+                  predicted_dir=False, branch_id=0),
+                I(Opcode.LI, dest=2, imm=10),  # confirmed path
+                I(Opcode.HALT),
+                I(Opcode.LI, dest=3, imm=20),  # fix:
+                I(Opcode.HALT),
+            ],
+            {"fix": 4},
+        )
+        result = execute(program)
+        assert result.registers[3] == 20
+        assert result.resolve_mispredicts == 1
+
+    def test_pc_escape_raises(self):
+        program = assemble([I(Opcode.LI, dest=1, imm=0)], {})  # no halt
+        with pytest.raises(SimulationError):
+            execute(program)
+
+    def test_max_instructions_caps_infinite_loop(self):
+        program = assemble([I(Opcode.JMP, target=0)], {})
+        result = execute(program, max_instructions=100)
+        assert not result.halted
+        assert result.instructions_executed == 100
+
+
+class TestBranchTrace:
+    def test_trace_records_ids_and_outcomes(self):
+        from tests.conftest import build_diamond
+        from repro.ir import lower
+
+        func = build_diamond([1, 0, 1, 1])
+        trace = collect_branch_trace(lower(func))
+        site0 = [taken for bid, taken in trace if bid == 0]
+        assert site0 == [True, False, True, True]

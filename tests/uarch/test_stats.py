@@ -1,0 +1,50 @@
+"""SimStats derived-metric arithmetic."""
+
+from repro.uarch import SimStats
+
+
+def test_ipc():
+    stats = SimStats(cycles=100, committed=250)
+    assert stats.ipc == 2.5
+    assert SimStats().ipc == 0.0
+
+
+def test_mppki_counts_both_branch_kinds():
+    stats = SimStats(
+        committed=10_000, cond_mispredicts=15, resolve_mispredicts=5
+    )
+    assert stats.mppki == 2.0
+
+
+def test_mppki_empty():
+    assert SimStats().mppki == 0.0
+
+
+def test_branch_accuracy():
+    stats = SimStats(
+        cond_branches=80, resolves=20,
+        cond_mispredicts=8, resolve_mispredicts=2,
+    )
+    assert stats.branch_accuracy == 0.9
+    assert SimStats().branch_accuracy == 1.0
+
+
+def test_aspcb_prefers_resolves_when_present():
+    stats = SimStats(
+        resolves=10, cond_branches=100, resolution_stall_cycles=50
+    )
+    assert stats.aspcb == 5.0
+
+
+def test_aspcb_falls_back_to_cond_branches():
+    stats = SimStats(cond_branches=25, resolution_stall_cycles=50)
+    assert stats.aspcb == 2.0
+    assert SimStats().aspcb == 0.0
+
+
+def test_count_opcode():
+    stats = SimStats()
+    stats.count_opcode("ADD")
+    stats.count_opcode("ADD")
+    stats.count_opcode("LOAD")
+    assert stats.by_opcode == {"ADD": 2, "LOAD": 1}

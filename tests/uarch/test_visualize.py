@@ -1,0 +1,43 @@
+"""Pipeline-timeline visualisation."""
+
+from repro.compiler import compile_baseline
+from repro.uarch import collect_timeline, render_timeline
+from repro.ir import lower
+from tests.conftest import build_diamond
+
+
+def program():
+    return compile_baseline(build_diamond([1, 0] * 16)).program
+
+
+def test_collect_timeline_rows_ordered():
+    rows = collect_timeline(program(), max_instructions=500)
+    assert rows
+    for earlier, later in zip(rows, rows[1:]):
+        assert earlier.issue <= later.issue  # in-order issue
+        assert earlier.index + 1 == later.index
+
+
+def test_rows_have_consistent_cycles():
+    for row in collect_timeline(program(), max_instructions=500):
+        assert row.fetch <= row.issue <= row.complete
+
+
+def test_render_contains_markers():
+    text = render_timeline(program(), count=10, max_instructions=500)
+    assert "F" in text and "I" in text
+    assert "cycles" in text.splitlines()[0]
+
+
+def test_render_window_selection():
+    text_a = render_timeline(program(), start=0, count=5,
+                             max_instructions=500)
+    text_b = render_timeline(program(), start=20, count=5,
+                             max_instructions=500)
+    assert text_a != text_b
+
+
+def test_render_empty_window():
+    text = render_timeline(program(), start=10_000, count=5,
+                           max_instructions=500)
+    assert "no instructions" in text

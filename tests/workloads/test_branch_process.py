@@ -1,0 +1,97 @@
+"""Branch-outcome processes: the bias/predictability decoupling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branchpred import measure_stream
+from repro.workloads import BranchSiteSpec, empirical_bias, generate_outcomes
+
+
+class TestSpecValidation:
+    def test_bias_range_enforced(self):
+        with pytest.raises(ValueError):
+            BranchSiteSpec(bias=0.4, predictability=0.9)
+        with pytest.raises(ValueError):
+            BranchSiteSpec(bias=1.1, predictability=0.9)
+
+    def test_predictability_range_enforced(self):
+        with pytest.raises(ValueError):
+            BranchSiteSpec(bias=0.6, predictability=1.5)
+
+
+class TestTransitionFormula:
+    @given(
+        bias=st.floats(0.52, 0.95),
+        pred=st.floats(0.55, 0.99),
+    )
+    def test_probabilities_valid(self, bias, pred):
+        spec = BranchSiteSpec(bias=bias, predictability=max(pred, bias))
+        stay_major, stay_minor = spec.transition_probabilities()
+        assert 0.0 <= stay_major <= 1.0
+        assert 0.0 <= stay_minor <= 1.0
+
+    def test_closed_form_example(self):
+        """b=0.6, p=0.9 -> stay_major=11/12, stay_minor=7/8."""
+        spec = BranchSiteSpec(bias=0.6, predictability=0.9)
+        stay_major, stay_minor = spec.transition_probabilities()
+        assert abs(stay_major - 11 / 12) < 1e-9
+        assert abs(stay_minor - 7 / 8) < 1e-9
+
+
+class TestGeneratedStreams:
+    def test_deterministic_per_site_and_seed(self):
+        spec = BranchSiteSpec(bias=0.6, predictability=0.9)
+        a = generate_outcomes(spec, 500, site_key=7, input_seed=1)
+        b = generate_outcomes(spec, 500, site_key=7, input_seed=1)
+        assert a == b
+
+    def test_different_inputs_differ(self):
+        spec = BranchSiteSpec(bias=0.6, predictability=0.9)
+        a = generate_outcomes(spec, 500, site_key=7, input_seed=1)
+        b = generate_outcomes(spec, 500, site_key=7, input_seed=2)
+        assert a != b
+
+    def test_bias_approximates_target(self):
+        spec = BranchSiteSpec(bias=0.6, predictability=0.9)
+        outcomes = generate_outcomes(spec, 20_000, site_key=3)
+        assert abs(empirical_bias(outcomes) - 0.6) < 0.06
+
+    def test_majority_direction_honoured(self):
+        spec = BranchSiteSpec(
+            bias=0.8, predictability=0.9, majority_taken=False
+        )
+        outcomes = generate_outcomes(spec, 5_000, site_key=4)
+        taken_rate = sum(outcomes) / len(outcomes)
+        assert taken_rate < 0.5
+
+    def test_iid_stream_predictability_collapses_to_bias(self):
+        spec = BranchSiteSpec(bias=0.6, predictability=0.6, patterned=False)
+        outcomes = generate_outcomes(spec, 8_000, site_key=5)
+        stats = measure_stream(0, outcomes)
+        assert stats.predictability < stats.bias + 0.05
+
+    def test_patterned_stream_opens_the_gap(self):
+        """The paper's whole opportunity: predictability >> bias."""
+        spec = BranchSiteSpec(bias=0.58, predictability=0.92)
+        outcomes = generate_outcomes(spec, 8_000, site_key=6)
+        stats = measure_stream(0, outcomes)
+        assert stats.exposed_predictability > 0.15
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        bias=st.sampled_from([0.55, 0.6, 0.65, 0.7]),
+        pred=st.sampled_from([0.85, 0.9, 0.94]),
+        seed=st.integers(0, 100),
+    )
+    def test_markov_predict_last_accuracy_matches_target(
+        self, bias, pred, seed
+    ):
+        """Property: 'predict the last outcome' achieves ~p on the chain
+        (the design equation of the process)."""
+        spec = BranchSiteSpec(bias=bias, predictability=pred)
+        outcomes = generate_outcomes(spec, 6_000, site_key=seed)
+        hits = sum(
+            outcomes[i] == outcomes[i - 1] for i in range(1, len(outcomes))
+        )
+        accuracy = hits / (len(outcomes) - 1)
+        assert abs(accuracy - pred) < 0.05

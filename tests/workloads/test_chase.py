@@ -1,0 +1,52 @@
+"""Pointer-chase chain properties (the cache-behaviour substrate)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.synthetic import _LINE_WORDS, _chase_chain
+
+
+@settings(max_examples=20, deadline=None)
+@given(lines=st.integers(2, 512), seed=st.integers(0, 1000))
+def test_chain_is_a_single_cycle(lines, seed):
+    """Sattolo guarantee: following the chain visits every line exactly
+    once before returning to the start -- the reuse distance is exactly
+    ``lines`` steps for every line."""
+    base = 1 << 20
+    chain = _chase_chain(base, lines, random.Random(seed))
+    assert len(chain) == lines
+
+    visited = set()
+    cursor = base
+    for _ in range(lines):
+        assert cursor not in visited
+        visited.add(cursor)
+        cursor = chain[cursor]
+    assert cursor == base  # back at the start: one cycle
+    assert len(visited) == lines
+
+
+@given(lines=st.integers(2, 256), seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_chain_addresses_line_aligned_and_in_region(lines, seed):
+    base = 1 << 16
+    chain = _chase_chain(base, lines, random.Random(seed))
+    upper = base + lines * _LINE_WORDS
+    for address, target in chain.items():
+        assert base <= address < upper
+        assert base <= target < upper
+        assert (address - base) % _LINE_WORDS == 0
+        assert (target - base) % _LINE_WORDS == 0
+
+
+def test_chain_deterministic_for_seeded_rng():
+    a = _chase_chain(0, 64, random.Random(7))
+    b = _chase_chain(0, 64, random.Random(7))
+    assert a == b
+
+
+def test_no_self_loops():
+    chain = _chase_chain(0, 128, random.Random(3))
+    for address, target in chain.items():
+        assert address != target

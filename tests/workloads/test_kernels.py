@@ -1,0 +1,72 @@
+"""The Figure 6 omnetpp cArray::add kernel."""
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.core import decompose_branch
+from repro.ir import lower
+from repro.isa import Opcode
+from repro.uarch import always_taken, collect_branch_trace, execute
+from repro.workloads import FIG6_SITE, omnetpp_carray_add
+
+
+class TestKernelShape:
+    def test_figure6_statistics(self):
+        """60/40 bias, ~90% predictability on both paths."""
+        assert FIG6_SITE.bias == 0.6
+        assert FIG6_SITE.predictability == 0.9
+
+    def test_block_a_loads_feed_compare(self):
+        func = omnetpp_carray_add(iterations=64)
+        a_ops = [inst.opcode for inst in func.block("A").body]
+        assert a_ops.count(Opcode.LOAD) == 2  # last, capacity
+        assert Opcode.CMP_GE in a_ops
+
+    def test_both_paths_load_items_pointer(self):
+        """Fig. 6: lines 5/7 in B and line 40 in C load this->items --
+        the loads whose latency the transformation overlaps."""
+        func = omnetpp_carray_add(iterations=64)
+        for name in ("B", "C"):
+            assert any(inst.is_load for inst in func.block(name).body)
+
+    def test_stores_present_in_both_paths(self):
+        func = omnetpp_carray_add(iterations=64)
+        assert sum(i.is_store for i in func.block("B").body) == 2
+        assert sum(i.is_store for i in func.block("C").body) >= 3
+
+    def test_branch_bias_matches_figure(self):
+        func = omnetpp_carray_add(iterations=512)
+        trace = collect_branch_trace(lower(func))
+        grows = [taken for bid, taken in trace if bid == 0]
+        grow_rate = sum(grows) / len(grows)
+        assert 0.3 < grow_rate < 0.5  # minority path ~40%
+
+
+class TestKernelTransformation:
+    def test_decomposition_preserves_results(self):
+        func = omnetpp_carray_add(iterations=256)
+        reference = execute(lower(func)).memory_snapshot()
+        decompose_branch(func, "A")
+        transformed = lower(func)
+        assert execute(transformed).memory_snapshot() == reference
+        assert (
+            execute(transformed, predict_policy=always_taken).memory_snapshot()
+            == reference
+        )
+
+    def test_pipeline_converts_the_branch(self):
+        func = omnetpp_carray_add(iterations=512)
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        assert dec.transform.converted == 1
+        assert dec.transform.transforms[0].hoisted_not_taken > 0
+
+    def test_loads_hoisted_above_resolution(self):
+        func = omnetpp_carray_add(iterations=512)
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        hoisted_loads = [
+            inst
+            for inst in dec.program.instructions
+            if inst.is_load and inst.hoisted
+        ]
+        assert hoisted_loads
+        assert all(inst.speculative for inst in hoisted_loads)

@@ -1,0 +1,68 @@
+"""The mcf-style pointer-chase kernel (the transformation's boundary case)."""
+
+from repro.compiler import compile_baseline, compile_decomposed
+from repro.ir import lower
+from repro.uarch import InOrderCore, MachineConfig, always_taken, execute
+from repro.workloads import MCF_SITE, mcf_pointer_chase
+
+
+class TestKernelShape:
+    def test_builds_and_halts(self):
+        func = mcf_pointer_chase(iterations=128)
+        func.validate()
+        result = execute(lower(func))
+        assert result.halted
+
+    def test_chase_is_serial(self):
+        """The walk block's first load feeds its own base register."""
+        func = mcf_pointer_chase(iterations=64)
+        first = func.block("walk").body[0]
+        assert first.is_load
+        assert first.dest == first.srcs[0]
+
+    def test_guard_branch_statistics(self):
+        from repro.compiler import profile_function
+
+        func = mcf_pointer_chase(iterations=600)
+        profile = profile_function(func)
+        stats = profile[0]
+        assert 0.5 <= stats.bias <= 0.8
+        assert stats.exposed_predictability > 0.05
+
+    def test_branch_converts(self):
+        func = mcf_pointer_chase(iterations=600)
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        assert dec.transform.converted == 1
+
+
+class TestBoundaryBehaviour:
+    def test_semantics_preserved(self):
+        func = mcf_pointer_chase(iterations=256)
+        reference = execute(lower(func)).memory_snapshot()
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        assert execute(dec.program).memory_snapshot() == reference
+        assert (
+            execute(dec.program, predict_policy=always_taken).memory_snapshot()
+            == reference
+        )
+
+    def test_serial_chase_resists_the_transformation(self):
+        """The paper's mcf lesson: with the miss chain on the critical
+        path, decomposition neither helps much nor hurts much."""
+        func = mcf_pointer_chase(iterations=400)
+        base = compile_baseline(func)
+        dec = compile_decomposed(func, profile=base.profile)
+        machine = MachineConfig.paper_default()
+        base_run = InOrderCore(machine).run(base.program)
+        dec_run = InOrderCore(machine).run(dec.program)
+        speedup = 100.0 * (base_run.cycles / dec_run.cycles - 1.0)
+        assert -3.0 < speedup < 6.0
+
+    def test_long_resolution_stalls(self):
+        """ASPCB lands in mcf's published league (big)."""
+        func = mcf_pointer_chase(iterations=400)
+        base = compile_baseline(func)
+        run = InOrderCore(MachineConfig.paper_default()).run(base.program)
+        assert run.stats.aspcb > 80.0

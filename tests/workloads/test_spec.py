@@ -1,0 +1,114 @@
+"""SPEC benchmark parameter tables."""
+
+import pytest
+
+from repro.core import BranchClass, classify_branch
+from repro.branchpred import BranchStats
+from repro.workloads import (
+    BENCHMARKS,
+    SUITES,
+    site_population,
+    spec_benchmark,
+    suite_benchmarks,
+)
+
+
+class TestTables:
+    def test_all_table2_int_benchmarks_present(self):
+        expected = {
+            "h264ref", "perlbench", "astar", "omnetpp", "xalancbmk",
+            "sjeng", "gobmk", "gcc", "mcf", "bzip2", "hmmer", "libquantum",
+        }
+        assert set(SUITES["int2006"]) == expected
+
+    def test_all_table2_fp_benchmarks_present(self):
+        assert len(SUITES["fp2006"]) == 17
+        assert "wrf" in SUITES["fp2006"] and "leslie3d" in SUITES["fp2006"]
+
+    def test_spec2000_suites_full(self):
+        assert len(SUITES["int2000"]) == 12
+        assert len(SUITES["fp2000"]) == 14
+
+    def test_published_values_preserved(self):
+        row = BENCHMARKS["h264ref"].paper
+        assert row.spd == 23.1 and row.pbc == 50.2 and row.mppki == 6.7
+        row = BENCHMARKS["mcf"].paper
+        assert row.aspcb == 107.2 and row.piscs == 6.8
+
+    def test_spec2000_rows_marked_text_derived(self):
+        assert BENCHMARKS["vortex00"].paper.from_text
+        assert not BENCHMARKS["h264ref"].paper.from_text
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            spec_benchmark("nonesuch")
+        with pytest.raises(KeyError):
+            suite_benchmarks("int1995")
+
+
+class TestSitePopulations:
+    def test_candidate_fraction_tracks_pbc(self):
+        bench = BENCHMARKS["h264ref"]  # PBC 50.2%
+        sites = site_population(bench)
+        candidates = [s for s in sites if s.heavy]
+        assert abs(len(candidates) / len(sites) - 0.502) < 0.15
+
+    def test_low_pbc_has_few_candidates(self):
+        bench = BENCHMARKS["hmmer"]  # PBC 10.3%
+        candidates = [s for s in site_population(bench) if s.heavy]
+        assert len(candidates) <= 2
+
+    def test_candidates_designed_in_decompose_quadrant(self):
+        for name in ("h264ref", "omnetpp", "wrf"):
+            for site in site_population(BENCHMARKS[name]):
+                if not site.heavy:
+                    continue
+                stats = BranchStats(
+                    branch_id=0,
+                    executions=1000,
+                    taken=round(site.bias * 1000),
+                    correct=round(site.predictability * 1000),
+                )
+                assert classify_branch(stats) is BranchClass.DECOMPOSE
+
+    def test_population_deterministic(self):
+        a = site_population(BENCHMARKS["gcc"])
+        b = site_population(BENCHMARKS["gcc"])
+        assert a == b
+
+
+class TestSpecMapping:
+    def test_aspcb_maps_to_cond_miss(self):
+        assert spec_benchmark("mcf").cond_miss == "dram"  # 107 + huge D$
+        assert spec_benchmark("omnetpp").cond_miss == "l3"  # 79.8, high D$
+        assert spec_benchmark("gcc").cond_miss == "l2"  # 29.5
+        assert spec_benchmark("h264ref").cond_miss == "none"  # 21.6
+
+    def test_hoistable_mlp_gate(self):
+        # libquantum: ALPBB 0.8 -> no cold loads despite 'mid' D-cache.
+        assert spec_benchmark("libquantum").cold_loads_per_block == 0
+        # omnetpp passes every gate.
+        assert spec_benchmark("omnetpp").cold_loads_per_block > 0
+
+    def test_phi_maps_to_barrier(self):
+        assert spec_benchmark("bwaves").hoist_barrier_frac < 0.15
+        assert spec_benchmark("hmmer").hoist_barrier_frac > 0.9
+
+    def test_pdih_maps_to_hoist_cap(self):
+        assert spec_benchmark("leslie3d").hoist_cap == 1
+        assert spec_benchmark("wrf").hoist_cap == 12
+
+    def test_fp_benchmarks_emit_fp(self):
+        assert spec_benchmark("wrf").fp_fraction > 0
+        assert spec_benchmark("gcc").fp_fraction == 0
+
+    def test_iterations_parameter_respected(self):
+        assert spec_benchmark("gcc", iterations=128).iterations == 128
+
+    def test_builds_runnable_program(self):
+        from repro.ir import lower
+        from repro.uarch import execute
+
+        spec = spec_benchmark("bzip2", iterations=48)
+        result = execute(lower(spec.build(seed=0)), max_instructions=200_000)
+        assert result.halted

@@ -1,0 +1,164 @@
+"""Synthetic workload generator: structure, semantics, calibration."""
+
+import pytest
+
+from repro.ir import lower
+from repro.uarch import execute
+from repro.workloads import (
+    BranchSiteSpec,
+    RESULT_BASE,
+    WorkloadSpec,
+    build_workload,
+    dynamic_instructions_per_iteration,
+)
+
+
+def small_spec(**kw):
+    defaults = dict(
+        name="unit",
+        suite="test",
+        sites=[
+            BranchSiteSpec(bias=0.6, predictability=0.9),
+            BranchSiteSpec(bias=0.95, predictability=0.97, heavy=False),
+        ],
+        iterations=64,
+        cold_code_factor=0.0,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestValidation:
+    def test_footprint_power_of_two(self):
+        with pytest.raises(ValueError):
+            small_spec(footprint_words=300)
+
+    def test_bad_miss_levels_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(cond_miss="l7")
+        with pytest.raises(ValueError):
+            small_spec(cold_miss="none")
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(small_spec(sites=[]))
+
+
+class TestStructure:
+    def test_builds_and_validates(self):
+        func = small_spec().build(seed=0)
+        func.validate()
+        assert "s0A" in func.blocks and "s1A" in func.blocks
+
+    def test_one_forward_branch_per_site(self):
+        func = small_spec().build(seed=0)
+        for s in range(2):
+            term = func.block(f"s{s}A").terminator
+            assert term.is_cond_branch
+            assert term.branch_id == s
+
+    def test_loop_latch_is_backward(self):
+        from repro.ir import is_forward_branch
+
+        func = small_spec().build(seed=0)
+        assert not is_forward_branch(func, func.block("tail"))
+        for s in range(2):
+            assert is_forward_branch(func, func.block(f"s{s}A"))
+
+    def test_runs_to_completion(self):
+        program = lower(small_spec().build(seed=0))
+        result = execute(program)
+        assert result.halted
+        # Every site stored its result; the final accumulator too.
+        memory = dict(result.memory_snapshot())
+        assert RESULT_BASE + 1023 in memory
+
+    def test_outcome_data_drives_branches(self):
+        spec = small_spec()
+        program = lower(spec.build(seed=0))
+        from repro.uarch import collect_branch_trace
+
+        trace = collect_branch_trace(program)
+        site0 = [taken for bid, taken in trace if bid == 0]
+        assert len(site0) == spec.iterations
+        assert any(site0) and not all(site0)  # genuinely unbiased
+
+    def test_different_seeds_same_structure_different_data(self):
+        spec = small_spec()
+        f0, f1 = spec.build(seed=0), spec.build(seed=1)
+        assert f0.layout() == f1.layout()
+        assert f0.data != f1.data
+
+
+class TestHeavyGating:
+    def test_heavy_sites_carry_chase(self):
+        spec = small_spec(cond_miss="l3", cold_loads_per_block=1)
+        func = spec.build(seed=0)
+        heavy_ops = [i.opcode.name for i in func.block("s0A").body]
+        light_ops = [i.opcode.name for i in func.block("s1A").body]
+        # Heavy site 0 has the extra chase load; light site 1 does not.
+        assert heavy_ops.count("LOAD") > light_ops.count("LOAD")
+
+    def test_light_successors_have_no_cold_loads(self):
+        spec = small_spec(cold_loads_per_block=2)
+        func = spec.build(seed=0)
+        from repro.workloads.synthetic import _R_CHASE_COLD
+
+        light_b = func.block("s1B").body
+        assert all(
+            inst.dest != _R_CHASE_COLD for inst in light_b
+        )
+
+
+class TestPhiBarrier:
+    def test_low_phi_blocks_hoisting(self):
+        from repro.ir import available_above
+
+        spec_low = small_spec(hoist_barrier_frac=0.1)
+        spec_high = small_spec(hoist_barrier_frac=0.9)
+        low = spec_low.build(seed=0).block("s0B").body
+        high = spec_high.build(seed=0).block("s0B").body
+        hoist_low = len(available_above(low, set(range(64))))
+        hoist_high = len(available_above(high, set(range(64))))
+        assert hoist_low < hoist_high
+
+    def test_hoist_cap_binds(self):
+        from repro.ir import available_above
+
+        spec = small_spec(hoist_barrier_frac=0.9, hoist_cap=2)
+        body = spec.build(seed=0).block("s0B").body
+        assert len(available_above(body, set(range(64)))) <= 2
+
+
+class TestColdCode:
+    def test_cold_factor_inflates_static_size(self):
+        lean = small_spec(cold_code_factor=0.0).build(seed=0)
+        padded = small_spec(cold_code_factor=2.0).build(seed=0)
+        assert padded.static_instruction_count() > 2.5 * lean.static_instruction_count()
+
+    def test_cold_code_never_executes(self):
+        spec = small_spec(cold_code_factor=2.0)
+        program = lower(spec.build(seed=0))
+        result = execute(program)
+        assert result.halted
+
+    def test_cold_code_has_no_branches(self):
+        func = small_spec(cold_code_factor=2.0).build(seed=0)
+        for name, block in func.blocks.items():
+            if name.startswith("cold"):
+                term = block.terminator
+                assert term is None or not term.is_cond_branch
+
+
+class TestCalibrationHelpers:
+    def test_instruction_estimate_close(self):
+        spec = small_spec()
+        program = lower(spec.build(seed=0))
+        result = execute(program)
+        per_iter = result.instructions_executed / spec.iterations
+        estimate = dynamic_instructions_per_iteration(spec)
+        assert abs(per_iter - estimate) / per_iter < 0.4
+
+    def test_outcome_region_covers_run(self):
+        assert small_spec(iterations=100).outcome_region >= 100
+        assert small_spec(iterations=64).outcome_region == 64
