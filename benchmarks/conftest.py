@@ -1,10 +1,13 @@
 """Shared configuration for the table/figure regeneration benchmarks.
 
 Every benchmark regenerates one of the paper's tables or figures, prints
-it (uncaptured) and archives it under ``results/``.  Scale is controlled
-by ``REPRO_BENCH_ITERATIONS`` / ``REPRO_BENCH_SEEDS`` so the default run
+it (uncaptured) and archives it under ``results/``, together with a
+machine-readable ``<name>.manifest.json`` run record (config, per-job
+timings, cache hit/miss counts).  Scale is controlled by
+``REPRO_BENCH_ITERATIONS`` / ``REPRO_BENCH_SEEDS`` so the default run
 finishes in minutes while a full run reproduces the EXPERIMENTS.md
-numbers.
+numbers; ``REPRO_JOBS`` fans the simulation jobs over worker processes
+and ``results/.cache/`` memoises them across runs.
 """
 
 import os
@@ -12,7 +15,7 @@ import pathlib
 
 import pytest
 
-from repro.experiments import RunConfig
+from repro.experiments import RunConfig, default_engine
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -22,6 +25,10 @@ BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "500"))
 BENCH_SEEDS = tuple(
     range(1, 1 + int(os.environ.get("REPRO_BENCH_SEEDS", "1")))
 )
+
+#: Worker-process count for the experiment engine (``REPRO_JOBS`` wins;
+#: the default engine the runners use reads the same variable).
+BENCH_JOBS = int(os.environ.get("REPRO_JOBS", "0")) or os.cpu_count() or 1
 
 
 def bench_config(**overrides) -> RunConfig:
@@ -33,11 +40,15 @@ def bench_config(**overrides) -> RunConfig:
 @pytest.fixture
 def emit(capsys):
     """Print a regenerated table/figure past pytest's capture and archive
-    it in results/."""
+    it in results/, with the engine's run manifest alongside."""
 
     def _emit(name: str, text: str) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        engine = default_engine()
+        if engine.records:
+            engine.write_manifest(RESULTS_DIR / f"{name}.manifest.json")
+            engine.reset_stats()
         with capsys.disabled():
             print(f"\n===== {name} =====")
             print(text)

@@ -1,0 +1,47 @@
+"""Smoke benchmark for the parallel experiment engine.
+
+Runs a 4-benchmark suite at ``RunConfig.quick()`` scale through the
+serial path (``jobs=1``) and through worker processes, asserting the two
+produce identical outcomes, and — when the machine actually has multiple
+cores — that fanning out beats the serial wall-clock.  Caching is
+disabled so both paths do the full simulation work.
+"""
+
+import os
+import time
+
+from repro.experiments import ExperimentEngine, RunConfig
+
+SMOKE_BENCHMARKS = ["h264ref", "perlbench", "omnetpp", "gcc"]
+PARALLEL_JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _run(jobs: int):
+    engine = ExperimentEngine(jobs=jobs, use_cache=False)
+    start = time.perf_counter()
+    outcomes = engine.run_benchmarks(SMOKE_BENCHMARKS, RunConfig.quick())
+    return outcomes, time.perf_counter() - start
+
+
+def test_engine_smoke(benchmark):
+    serial_outcomes, serial_s = _run(1)
+    parallel_outcomes, parallel_s = _run(PARALLEL_JOBS)
+
+    benchmark.pedantic(
+        lambda: _run(PARALLEL_JOBS), rounds=1, iterations=1
+    )
+
+    # The parallel path reassembles byte-identical results.
+    for a, b in zip(serial_outcomes, parallel_outcomes):
+        assert a.name == b.name
+        assert a.speedups == b.speedups
+        assert vars(a.metrics) == vars(b.metrics)
+
+    # With real cores available, fanning the seed jobs over workers must
+    # beat the serial wall-clock; a single-core box only pays fork
+    # overhead, so there we only check the parallel path completed.
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_s < serial_s, (
+            f"parallel ({PARALLEL_JOBS} workers) took {parallel_s:.2f}s "
+            f"vs serial {serial_s:.2f}s"
+        )

@@ -15,7 +15,11 @@ Commands mirror the paper's evaluation artifacts:
 * ``timeline <name>``             -- issue-timeline visualisation
 
 All commands accept ``--iterations N`` and ``--seeds K`` to trade fidelity
-for time.
+for time, ``--jobs N`` to fan simulation jobs over worker processes
+(default: ``REPRO_JOBS`` or every core), and ``--no-cache`` to bypass the
+``results/.cache/`` result cache.  Engine-backed commands write a
+machine-readable ``results/run_manifest.json`` (config, per-job timings,
+cache hit/miss counts) next to the regenerated table.
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .experiments import RunConfig, run_benchmark
+from .experiments import ExperimentEngine, RunConfig, run_benchmark
+from .experiments.engine import RESULTS_DIR
 
 
 def _config(args) -> RunConfig:
@@ -34,10 +39,44 @@ def _config(args) -> RunConfig:
     )
 
 
+def _progress(done: int, total: int, label: str) -> None:
+    sys.stderr.write(f"\r[{done}/{total}] {label:<40.40}")
+    sys.stderr.flush()
+    if done == total:
+        sys.stderr.write("\n")
+
+
+def _engine(args) -> ExperimentEngine:
+    if args.engine is None:
+        args.engine = ExperimentEngine(
+            jobs=args.jobs,
+            use_cache=False if args.no_cache else None,
+            progress=_progress if sys.stderr.isatty() else None,
+        )
+    return args.engine
+
+
+def _finish(args, config: Optional[RunConfig] = None) -> None:
+    """Write the run manifest + a one-line summary for engine commands."""
+    engine = args.engine
+    if engine is None or not engine.records:
+        return
+    engine.write_manifest(RESULTS_DIR / "run_manifest.json", config=config)
+    sys.stderr.write(
+        f"{len(engine.records)} jobs "
+        f"({engine.cache_hits} cache hits, {engine.cache_misses} misses), "
+        f"{engine.total_wall_s:.1f}s job time, "
+        f"{engine.total_simulated_cycles} cycles simulated; "
+        f"manifest: {RESULTS_DIR / 'run_manifest.json'}\n"
+    )
+
+
 def _cmd_table2(args) -> None:
     from .experiments.table2 import render, run
 
-    print(render(run(_config(args))))
+    config = _config(args)
+    print(render(run(config, engine=_engine(args))))
+    _finish(args, config)
 
 
 def _cmd_figure(args) -> None:
@@ -48,7 +87,8 @@ def _cmd_figure(args) -> None:
         ref_seeds=tuple(range(1, args.seeds + 1)),
         widths=(2, 4, 8) if args.all_widths else (4,),
     )
-    print(run_figure(args.name, config).render())
+    print(run_figure(args.name, config, engine=_engine(args)).render())
+    _finish(args, config)
 
 
 def _cmd_predvbias(args) -> None:
@@ -66,22 +106,28 @@ def _cmd_taxonomy(args) -> None:
 def _cmd_sensitivity(args) -> None:
     from .experiments.sensitivity import run
 
-    print(run(config=_config(args)).render())
+    config = _config(args)
+    print(run(config=config, engine=_engine(args)).render())
+    _finish(args, config)
 
 
 def _cmd_sideeffects(args) -> None:
     from .experiments.side_effects import run_icache, run_issue_increase
 
     config = _config(args)
-    print(run_issue_increase(config).render())
+    engine = _engine(args)
+    print(run_issue_increase(config, engine=engine).render())
     print()
-    print(run_icache(config).render())
+    print(run_icache(config, engine=engine).render())
+    _finish(args, config)
 
 
 def _cmd_ablations(args) -> None:
     from .experiments.ablations import render_all
 
-    print(render_all(_config(args)))
+    config = _config(args)
+    print(render_all(config, engine=_engine(args)))
+    _finish(args, config)
 
 
 def _cmd_quadrants(args) -> None:
@@ -93,11 +139,13 @@ def _cmd_quadrants(args) -> None:
 def _cmd_motivation(args) -> None:
     from .experiments.motivation import run
 
-    print(run(config=_config(args)).render())
+    config = _config(args)
+    print(run(config=config, engine=_engine(args)).render())
+    _finish(args, config)
 
 
 def _cmd_bench(args) -> None:
-    outcome = run_benchmark(args.name, _config(args))
+    outcome = run_benchmark(args.name, _config(args), engine=_engine(args))
     metrics = outcome.metrics
     print(
         f"{outcome.name}: {metrics.spd:.1f}% speedup "
@@ -134,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--iterations", type=int, default=500)
     parser.add_argument("--seeds", type=int, default=1)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS env or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the results/.cache/ result cache",
+    )
+    parser.set_defaults(engine=None)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table2").set_defaults(func=_cmd_table2)

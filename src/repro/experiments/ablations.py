@@ -7,6 +7,10 @@
 * **DBB-size sweep** -- the paper sizes the Decomposed Branch Buffer at 16
   entries "empirically"; occupancy stays tiny because of back-pressure.
 * **Push-down ablation** -- disabling the resolution-slice push-down.
+
+Each sweep point is an independent engine job (the shared TRAIN profile
+and baseline run are recomputed per point -- deterministic, and cached
+after the first evaluation).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from ..core.dbb import DecomposedBranchBuffer
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig
 from ..workloads import spec_benchmark
+from .engine import ExperimentEngine, get_engine
 from .harness import RunConfig
 
 
@@ -34,96 +39,153 @@ def _prepared(name: str, config: RunConfig):
     return ref, profile
 
 
-def hoist_depth_sweep(
-    name: str = "omnetpp",
-    depths: Tuple[int, ...] = (0, 2, 4, 8, 12),
-    config: Optional[RunConfig] = None,
-) -> List[Tuple[int, float]]:
-    """(hoist budget, % speedup) pairs for one benchmark."""
-    config = config or RunConfig()
+def _baseline_run(name: str, config: RunConfig):
     ref, profile = _prepared(name, config)
     machine = config.machine_for(4)
     baseline = compile_baseline(ref, profile=profile)
     base_run = InOrderCore(machine).run(
         baseline.program, max_instructions=config.max_instructions
     )
-    out = []
-    for depth in depths:
-        decomposed = compile_decomposed(
-            ref,
-            profile=profile,
-            transform_config=TransformConfig(max_hoist_per_side=depth),
-        )
-        dec_run = InOrderCore(machine).run(
+    return ref, profile, machine, base_run
+
+
+def _hoist_job(payload) -> dict:
+    name, depth, config = payload
+    ref, profile, machine, base_run = _baseline_run(name, config)
+    decomposed = compile_decomposed(
+        ref,
+        profile=profile,
+        transform_config=TransformConfig(max_hoist_per_side=depth),
+    )
+    dec_run = InOrderCore(machine).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    return {
+        "speedup": speedup_percent(base_run, dec_run),
+        "simulated_cycles": base_run.cycles + dec_run.cycles,
+    }
+
+
+def _threshold_job(payload) -> dict:
+    name, threshold, config = payload
+    ref, profile, machine, base_run = _baseline_run(name, config)
+    selection = replace(
+        SelectionConfig(), min_exposed_predictability=threshold
+    )
+    decomposed = compile_decomposed(
+        ref, profile=profile, selection_config=selection
+    )
+    dec_run = InOrderCore(machine).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    return {
+        "converted": decomposed.transform.converted,
+        "speedup": speedup_percent(base_run, dec_run),
+        "simulated_cycles": base_run.cycles + dec_run.cycles,
+    }
+
+
+def _push_down_job(payload) -> dict:
+    name, push, config = payload
+    ref, profile, machine, base_run = _baseline_run(name, config)
+    decomposed = compile_decomposed(
+        ref,
+        profile=profile,
+        transform_config=TransformConfig(push_down_slice=push),
+    )
+    dec_run = InOrderCore(machine).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    return {
+        "speedup": speedup_percent(base_run, dec_run),
+        "simulated_cycles": base_run.cycles + dec_run.cycles,
+    }
+
+
+def _dbb_job(payload) -> dict:
+    name, size, config = payload
+    ref, profile = _prepared(name, config)
+    decomposed = compile_decomposed(ref, profile=profile)
+    captured: List[DecomposedBranchBuffer] = []
+    original_init = DecomposedBranchBuffer.__init__
+
+    def tracking_init(self, entries=size):
+        original_init(self, entries)
+        captured.append(self)
+
+    DecomposedBranchBuffer.__init__ = tracking_init
+    try:
+        machine = config.machine_for(4)
+        run = InOrderCore(machine).run(
             decomposed.program, max_instructions=config.max_instructions
         )
-        out.append((depth, speedup_percent(base_run, dec_run)))
-    return out
+    finally:
+        DecomposedBranchBuffer.__init__ = original_init
+    return {
+        "max_outstanding": captured[-1].max_outstanding,
+        "simulated_cycles": run.cycles,
+    }
+
+
+def hoist_depth_sweep(
+    name: str = "omnetpp",
+    depths: Tuple[int, ...] = (0, 2, 4, 8, 12),
+    config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> List[Tuple[int, float]]:
+    """(hoist budget, % speedup) pairs for one benchmark."""
+    config = config or RunConfig()
+    results = get_engine(engine).map(
+        _hoist_job,
+        [(name, depth, config) for depth in depths],
+        labels=[f"ablation:hoist:{name}:{d}" for d in depths],
+    )
+    return [(d, r["speedup"]) for d, r in zip(depths, results)]
 
 
 def selection_threshold_sweep(
     name: str = "h264ref",
     thresholds: Tuple[float, ...] = (0.01, 0.03, 0.05, 0.10, 0.20),
     config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[Tuple[float, int, float]]:
     """(threshold, conversions, % speedup) around the paper's 5% rule."""
     config = config or RunConfig()
-    ref, profile = _prepared(name, config)
-    machine = config.machine_for(4)
-    baseline = compile_baseline(ref, profile=profile)
-    base_run = InOrderCore(machine).run(
-        baseline.program, max_instructions=config.max_instructions
+    results = get_engine(engine).map(
+        _threshold_job,
+        [(name, threshold, config) for threshold in thresholds],
+        labels=[f"ablation:threshold:{name}:{t}" for t in thresholds],
     )
-    out = []
-    for threshold in thresholds:
-        selection = replace(
-            SelectionConfig(), min_exposed_predictability=threshold
-        )
-        decomposed = compile_decomposed(
-            ref, profile=profile, selection_config=selection
-        )
-        dec_run = InOrderCore(machine).run(
-            decomposed.program, max_instructions=config.max_instructions
-        )
-        out.append(
-            (
-                threshold,
-                decomposed.transform.converted,
-                speedup_percent(base_run, dec_run),
-            )
-        )
-    return out
+    return [
+        (t, r["converted"], r["speedup"])
+        for t, r in zip(thresholds, results)
+    ]
 
 
 def push_down_ablation(
-    name: str = "omnetpp", config: Optional[RunConfig] = None
+    name: str = "omnetpp",
+    config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, float]:
     """Speedup with and without the resolution-slice push-down."""
     config = config or RunConfig()
-    ref, profile = _prepared(name, config)
-    machine = config.machine_for(4)
-    baseline = compile_baseline(ref, profile=profile)
-    base_run = InOrderCore(machine).run(
-        baseline.program, max_instructions=config.max_instructions
+    variants = (("with-push-down", True), ("without", False))
+    results = get_engine(engine).map(
+        _push_down_job,
+        [(name, push, config) for _, push in variants],
+        labels=[f"ablation:pushdown:{name}:{label}" for label, _ in variants],
     )
-    out = {}
-    for label, push in (("with-push-down", True), ("without", False)):
-        decomposed = compile_decomposed(
-            ref,
-            profile=profile,
-            transform_config=TransformConfig(push_down_slice=push),
-        )
-        dec_run = InOrderCore(machine).run(
-            decomposed.program, max_instructions=config.max_instructions
-        )
-        out[label] = speedup_percent(base_run, dec_run)
-    return out
+    return {
+        label: r["speedup"]
+        for (label, _), r in zip(variants, results)
+    }
 
 
 def dbb_occupancy(
     name: str = "h264ref",
     sizes: Tuple[int, ...] = (4, 8, 16, 32),
     config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[Tuple[int, int]]:
     """(DBB size, max outstanding decomposed branches observed).
 
@@ -132,40 +194,34 @@ def dbb_occupancy(
     flight.
     """
     config = config or RunConfig()
-    ref, profile = _prepared(name, config)
-    decomposed = compile_decomposed(ref, profile=profile)
-
-    observed: List[Tuple[int, int]] = []
-    for size in sizes:
-        captured: List[DecomposedBranchBuffer] = []
-        original_init = DecomposedBranchBuffer.__init__
-
-        def tracking_init(self, entries=size):
-            original_init(self, entries)
-            captured.append(self)
-
-        DecomposedBranchBuffer.__init__ = tracking_init
-        try:
-            machine = config.machine_for(4)
-            InOrderCore(machine).run(
-                decomposed.program,
-                max_instructions=config.max_instructions,
-            )
-        finally:
-            DecomposedBranchBuffer.__init__ = original_init
-        observed.append((size, captured[-1].max_outstanding))
-    return observed
+    results = get_engine(engine).map(
+        _dbb_job,
+        [(name, size, config) for size in sizes],
+        labels=[f"ablation:dbb:{name}:{s}" for s in sizes],
+    )
+    return [
+        (size, r["max_outstanding"]) for size, r in zip(sizes, results)
+    ]
 
 
-def render_all(config: Optional[RunConfig] = None) -> str:
+def render_all(
+    config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> str:
     config = config or RunConfig()
+    engine = get_engine(engine)
     blocks = []
-    rows = [[str(d), f"{s:.2f}"] for d, s in hoist_depth_sweep(config=config)]
+    rows = [
+        [str(d), f"{s:.2f}"]
+        for d, s in hoist_depth_sweep(config=config, engine=engine)
+    ]
     blocks.append(render_table(["hoist budget", "speedup%"], rows,
                                title="Ablation: hoist depth (omnetpp)"))
     rows = [
         [f"{t:.2f}", str(c), f"{s:.2f}"]
-        for t, c, s in selection_threshold_sweep(config=config)
+        for t, c, s in selection_threshold_sweep(
+            config=config, engine=engine
+        )
     ]
     blocks.append(
         render_table(
@@ -174,11 +230,14 @@ def render_all(config: Optional[RunConfig] = None) -> str:
             title="Ablation: selection threshold (h264ref; paper uses 0.05)",
         )
     )
-    push = push_down_ablation(config=config)
+    push = push_down_ablation(config=config, engine=engine)
     rows = [[k, f"{v:.2f}"] for k, v in push.items()]
     blocks.append(render_table(["variant", "speedup%"], rows,
                                title="Ablation: resolution-slice push-down"))
-    rows = [[str(n), str(m)] for n, m in dbb_occupancy(config=config)]
+    rows = [
+        [str(n), str(m)]
+        for n, m in dbb_occupancy(config=config, engine=engine)
+    ]
     blocks.append(render_table(["DBB entries", "max outstanding"], rows,
                                title="Ablation: DBB sizing (paper: 16 suffices)"))
     return "\n\n".join(blocks)

@@ -1,0 +1,370 @@
+"""Parallel experiment-execution engine with a content-addressed cache.
+
+Every paper figure is a bag of *independent* simulation jobs (one
+benchmark, one REF seed, every width -- see :func:`.harness.run_seed`).
+The engine fans those jobs out over a :class:`ProcessPoolExecutor`,
+reassembles the results deterministically (order is fixed by submission
+index, never completion time), and memoises each job on disk so that
+re-running a figure after touching only a report renderer is instant.
+
+* Worker count comes from the ``REPRO_JOBS`` environment variable, the
+  CLI ``--jobs`` flag, or ``os.cpu_count()``; ``jobs=1`` is the serial
+  path and runs every job in-process with no executor.
+* The cache key is a SHA-256 over the worker's qualified name, a stable
+  fingerprint of the job payload (benchmark, seed, widths, and every
+  ``RunConfig``/``MachineConfig``/``SelectionConfig``/``TransformConfig``
+  field), the source hash of the whole ``repro`` package, and a schema
+  version -- touching any simulator/compiler source invalidates the
+  whole cache; touching a renderer invalidates nothing.
+* Observability: per-job wall time and simulated-cycle counters, a
+  ``progress(done, total, label)`` callback, and a machine-readable
+  manifest (:meth:`ExperimentEngine.write_manifest`) recording config,
+  timings, and cache hit/miss counts next to each regenerated table.
+
+Environment knobs: ``REPRO_JOBS`` (worker count), ``REPRO_CACHE=0``
+(disable the cache), ``REPRO_CACHE_DIR`` (relocate it from the default
+``results/.cache/``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+)
+
+#: Bump when the cached-result layout changes.
+CACHE_SCHEMA = 1
+
+#: Manifest layout version (see EXPERIMENTS.md for the schema).
+MANIFEST_SCHEMA = 1
+
+#: Repo-level results directory (works for the src-layout checkout).
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file; part of every cache key."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def fingerprint(obj: Any) -> Any:
+    """Reduce ``obj`` to a stable, JSON-serialisable structure.
+
+    Dataclasses flatten to their field dict (tagged with the class name),
+    callables/classes to their qualified name, so two configs fingerprint
+    equal exactly when every field is equal.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: fingerprint(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__class__": type(obj).__qualname__, **fields}
+    if isinstance(obj, dict):
+        return {str(k): fingerprint(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(v) for v in obj]
+    if isinstance(obj, pathlib.Path):
+        return str(obj)
+    if callable(obj):
+        return f"{obj.__module__}.{obj.__qualname__}"
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
+
+
+def _run_timed(worker: Callable[[Any], Dict], payload: Any):
+    """Top-level so it pickles; returns (result, wall seconds)."""
+    start = time.perf_counter()
+    result = worker(payload)
+    return result, time.perf_counter() - start
+
+
+def _seed_worker(payload) -> Dict:
+    """One (benchmark, REF seed) simulation job (see harness.run_seed)."""
+    from .harness import run_seed
+
+    name, seed, config = payload
+    return run_seed(name, seed, config)
+
+
+def _env_jobs() -> int:
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+def _env_cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+class ExperimentEngine:
+    """Schedules experiment jobs over processes, with an on-disk cache."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[pathlib.Path] = None,
+        use_cache: Optional[bool] = None,
+        progress: Optional[Callable[[int, int, str], None]] = None,
+    ) -> None:
+        self.jobs = max(1, jobs) if jobs is not None else _env_jobs()
+        if cache_dir is not None:
+            self.cache_dir = pathlib.Path(cache_dir)
+        else:
+            self.cache_dir = pathlib.Path(
+                os.environ.get("REPRO_CACHE_DIR", "")
+                or RESULTS_DIR / ".cache"
+            )
+        self.use_cache = (
+            use_cache if use_cache is not None else _env_cache_enabled()
+        )
+        self.progress = progress
+        self.reset_stats()
+
+    # -- observability -----------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: One record per executed/looked-up job, in submission order.
+        self.records: List[Dict] = []
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r["wall_s"] for r in self.records)
+
+    @property
+    def total_simulated_cycles(self) -> int:
+        return sum(r["simulated_cycles"] for r in self.records)
+
+    def manifest(self, config: Any = None) -> Dict:
+        """Machine-readable run record (see EXPERIMENTS.md for schema)."""
+        out = {
+            "schema": MANIFEST_SCHEMA,
+            "written_unix": time.time(),
+            "engine": {
+                "jobs": self.jobs,
+                "cache_dir": str(self.cache_dir),
+                "cache_enabled": self.use_cache,
+                "code_version": code_version(),
+            },
+            "totals": {
+                "jobs": len(self.records),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "wall_s": self.total_wall_s,
+                "simulated_cycles": self.total_simulated_cycles,
+            },
+            "jobs": self.records,
+        }
+        if config is not None:
+            out["config"] = fingerprint(config)
+        return out
+
+    def write_manifest(self, path: pathlib.Path, config: Any = None) -> None:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.manifest(config), indent=2) + "\n")
+
+    # -- cache -------------------------------------------------------------
+
+    def _cache_key(self, worker: Callable, payload: Any) -> str:
+        blob = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "worker": f"{worker.__module__}.{worker.__qualname__}",
+                "payload": fingerprint(payload),
+                "code": code_version(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _cache_load(self, key: Optional[str]) -> Optional[Dict]:
+        if key is None or not self.use_cache:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _cache_store(
+        self, key: Optional[str], label: str, result: Dict, wall_s: float
+    ) -> None:
+        if key is None or not self.use_cache:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "label": label,
+                "wall_s": wall_s,
+                "result": result,
+            }
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.cache_dir / f"{key}.json")
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- execution ---------------------------------------------------------
+
+    def map(
+        self,
+        worker: Callable[[Any], Dict],
+        payloads: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Dict]:
+        """Run ``worker`` over every payload; results in payload order.
+
+        ``worker`` must be a top-level function returning a
+        JSON-serialisable dict (so results can cross process boundaries
+        and live in the cache).  A ``"simulated_cycles"`` key, when
+        present, feeds the manifest's cycle counter.
+        """
+        total = len(payloads)
+        if labels is None:
+            labels = [f"{worker.__name__}[{i}]" for i in range(total)]
+        keys = [self._cache_key(worker, p) for p in payloads]
+        results: List[Optional[Dict]] = [None] * total
+        walls = [0.0] * total
+        hits = [False] * total
+        pending: List[int] = []
+        done = 0
+        for i in range(total):
+            cached = self._cache_load(keys[i])
+            if cached is not None:
+                results[i] = cached["result"]
+                walls[i] = cached.get("wall_s", 0.0)
+                hits[i] = True
+                done += 1
+                if self.progress:
+                    self.progress(done, total, labels[i])
+            else:
+                pending.append(i)
+
+        if pending and self.jobs > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_timed, worker, payloads[i]): i
+                    for i in pending
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
+                    results[i], walls[i] = future.result()
+                    done += 1
+                    if self.progress:
+                        self.progress(done, total, labels[i])
+        else:
+            for i in pending:
+                results[i], walls[i] = _run_timed(worker, payloads[i])
+                done += 1
+                if self.progress:
+                    self.progress(done, total, labels[i])
+
+        for i in pending:
+            self._cache_store(keys[i], labels[i], results[i], walls[i])
+
+        for i in range(total):
+            result = results[i]
+            cycles = (
+                result.get("simulated_cycles", 0)
+                if isinstance(result, dict)
+                else 0
+            )
+            if hits[i]:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.records.append(
+                {
+                    "label": labels[i],
+                    "key": keys[i],
+                    "cache": "hit" if hits[i] else "miss",
+                    "wall_s": walls[i],
+                    "simulated_cycles": cycles,
+                }
+            )
+        return results  # type: ignore[return-value]
+
+    # -- benchmark-level API ----------------------------------------------
+
+    def run_benchmarks(self, names: Sequence[str], config) -> List:
+        """Fan (benchmark x REF seed) jobs out; reassemble per benchmark.
+
+        Byte-identical to the serial path: job order, and therefore
+        every combine step, is fixed by (name, seed) submission order.
+        """
+        from .harness import combine_seed_results
+
+        payloads = [
+            (name, seed, config)
+            for name in names
+            for seed in config.ref_seeds
+        ]
+        labels = [f"{name}@seed{seed}" for name, seed, _ in payloads]
+        results = self.map(_seed_worker, payloads, labels=labels)
+        per_seed = len(config.ref_seeds)
+        outcomes = []
+        for i, name in enumerate(names):
+            chunk = results[i * per_seed:(i + 1) * per_seed]
+            outcomes.append(combine_seed_results(name, config, chunk))
+        return outcomes
+
+    def run_benchmark(self, name: str, config):
+        return self.run_benchmarks([name], config)[0]
+
+    def run_suite(self, suite: str, config) -> List:
+        from ..workloads import suite_benchmarks
+
+        return self.run_benchmarks(suite_benchmarks(suite), config)
+
+
+_DEFAULT_ENGINE: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    """Process-wide engine (``REPRO_JOBS``/``REPRO_CACHE`` honoured)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine()
+    return _DEFAULT_ENGINE
+
+
+def get_engine(engine: Optional[ExperimentEngine] = None) -> ExperimentEngine:
+    return engine if engine is not None else default_engine()

@@ -4,14 +4,27 @@ Follows the paper's methodology: profile on a TRAIN input (seed 0), select
 and transform with that profile, then evaluate on REF inputs (seeds >= 1),
 reporting per-benchmark speedups averaged over all REF inputs and for the
 best-performing input (Figures 8-13 report both).
+
+The harness is decomposed into independent *seed jobs* so the parallel
+engine (:mod:`.engine`) can fan them out over worker processes: one job
+(:func:`run_seed`) profiles on TRAIN, compiles for one REF seed, and
+simulates every width.  Each job recomputes the (deterministic) TRAIN
+profile so jobs share no state; :func:`combine_seed_results` reassembles
+them into a :class:`BenchmarkOutcome` in REF-seed order, which makes the
+parallel path byte-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis import BenchmarkMetrics, geomean_speedup, speedup_percent
+from ..analysis import (
+    BenchmarkMetrics,
+    geomean_speedup,
+    speedup_percent,
+)
 from ..compiler import compile_baseline, compile_decomposed, profile_program
 from ..core import SelectionConfig, TransformConfig
 from ..ir import lower
@@ -34,13 +47,26 @@ class RunConfig:
 
     @classmethod
     def quick(cls) -> "RunConfig":
-        """Small enough for CI/benchmark loops; same code paths."""
-        return cls(iterations=250, ref_seeds=(1,))
+        """Small enough for CI/benchmark loops; same code paths.
+
+        Everything scales together: 250/600 of the default iterations and
+        the same fraction of the default 2M-instruction simulation budget,
+        so a "quick" run can never simulate a full-length program.
+        """
+        return cls(
+            iterations=250, ref_seeds=(1,), max_instructions=833_000
+        )
 
     def machine_for(self, width: int) -> MachineConfig:
         if self.machine is not None:
             return self.machine
         return MachineConfig.paper_default(width=width)
+
+    def table_width(self) -> int:
+        """The width Table 2 metrics are measured at: 4-wide when the run
+        covers it (the configuration the published table reports),
+        otherwise the widest configuration simulated."""
+        return 4 if 4 in self.widths else max(self.widths)
 
 
 @dataclass
@@ -62,56 +88,122 @@ class BenchmarkOutcome:
         return max(self.speedups[width].values())
 
 
-def run_benchmark(name: str, config: RunConfig) -> BenchmarkOutcome:
-    """Profile on TRAIN, compile once per REF input, simulate all widths."""
+def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
+    """One independent job: TRAIN profile, compile for one REF seed,
+    simulate every width.
+
+    Returns a JSON-serialisable dict (so the engine can cache it and ship
+    it across process boundaries); see :func:`combine_seed_results` for
+    reassembly.  Metrics are measured on the table-width runs
+    (:meth:`RunConfig.table_width`) so every Table 2 column comes from
+    the same 4-wide simulations as the SPD column.
+    """
     spec = spec_benchmark(name, iterations=config.iterations)
     train_func = spec.build(seed=config.train_seed)
     profile = profile_program(
         lower(train_func), max_instructions=config.max_instructions
     )
 
-    speedups: Dict[int, Dict[int, float]] = {w: {} for w in config.widths}
+    ref_func = spec.build(seed=seed)
+    baseline = compile_baseline(ref_func, profile=profile)
+    decomposed = compile_decomposed(
+        ref_func,
+        profile=profile,
+        selection_config=config.selection,
+        transform_config=config.transform,
+    )
+
+    metrics_width = config.table_width()
+    speedups: Dict[int, float] = {}
     metrics: Optional[BenchmarkMetrics] = None
-    converted = 0
-    forward = 0
-
-    for seed in config.ref_seeds:
-        ref_func = spec.build(seed=seed)
-        baseline = compile_baseline(ref_func, profile=profile)
-        decomposed = compile_decomposed(
-            ref_func,
-            profile=profile,
-            selection_config=config.selection,
-            transform_config=config.transform,
+    simulated_cycles = 0
+    for width in config.widths:
+        machine = config.machine_for(width)
+        base_run = InOrderCore(machine).run(
+            baseline.program, max_instructions=config.max_instructions
         )
-        converted = decomposed.transform.converted
-        forward = decomposed.selection.forward_branches
-        for width in config.widths:
-            machine = config.machine_for(width)
-            base_run = InOrderCore(machine).run(
-                baseline.program, max_instructions=config.max_instructions
+        dec_run = InOrderCore(machine).run(
+            decomposed.program, max_instructions=config.max_instructions
+        )
+        simulated_cycles += base_run.cycles + dec_run.cycles
+        speedups[width] = speedup_percent(base_run, dec_run)
+        if width == metrics_width:
+            metrics = BenchmarkMetrics.from_runs(
+                name, baseline, decomposed, base_run, dec_run
             )
-            dec_run = InOrderCore(machine).run(
-                decomposed.program, max_instructions=config.max_instructions
-            )
-            speedups[width][seed] = speedup_percent(base_run, dec_run)
-            if metrics is None and width == max(config.widths):
-                metrics = BenchmarkMetrics.from_runs(
-                    name, baseline, decomposed, base_run, dec_run
-                )
-
     assert metrics is not None
+    return {
+        "name": name,
+        "seed": seed,
+        "speedups": {str(w): v for w, v in speedups.items()},
+        "metrics": dataclasses.asdict(metrics),
+        "converted": decomposed.transform.converted,
+        "forward_branches": decomposed.selection.forward_branches,
+        "simulated_cycles": simulated_cycles,
+    }
+
+
+def combine_seed_results(
+    name: str, config: RunConfig, seed_results: Sequence[Dict]
+) -> BenchmarkOutcome:
+    """Reassemble per-seed job dicts (in ``config.ref_seeds`` order).
+
+    Table 2 metric columns are averaged over every REF input (they were
+    previously taken from the first seed only); the SPD column is the
+    geomean over all REF inputs at the table width, as published.
+    """
+    assert len(seed_results) == len(config.ref_seeds)
+    speedups: Dict[int, Dict[int, float]] = {w: {} for w in config.widths}
+    for result in seed_results:
+        for width_str, value in result["speedups"].items():
+            speedups[int(width_str)][result["seed"]] = value
+
+    metric_fields = [
+        f.name
+        for f in dataclasses.fields(BenchmarkMetrics)
+        if f.name != "name"
+    ]
+    metrics = BenchmarkMetrics(
+        name=name,
+        **{
+            fname: sum(r["metrics"][fname] for r in seed_results)
+            / len(seed_results)
+            for fname in metric_fields
+        },
+    )
     # Table 2's SPD column is the geomean over all REF inputs at 4-wide.
-    table_width = 4 if 4 in config.widths else max(config.widths)
-    metrics.spd = geomean_speedup(list(speedups[table_width].values()))
+    metrics.spd = geomean_speedup(
+        list(speedups[config.table_width()].values())
+    )
+    last = seed_results[-1]
     return BenchmarkOutcome(
         name=name,
         speedups=speedups,
         metrics=metrics,
-        converted=converted,
-        forward_branches=forward,
+        converted=last["converted"],
+        forward_branches=last["forward_branches"],
     )
 
 
-def run_suite(suite: str, config: RunConfig) -> List[BenchmarkOutcome]:
-    return [run_benchmark(name, config) for name in suite_benchmarks(suite)]
+def run_benchmark(
+    name: str, config: RunConfig, engine=None
+) -> BenchmarkOutcome:
+    """Profile on TRAIN, compile once per REF input, simulate all widths.
+
+    Routes through the experiment engine (cache + ``REPRO_JOBS`` workers);
+    pass ``engine=ExperimentEngine(jobs=1, use_cache=False)`` for a pure
+    in-process serial run.
+    """
+    from .engine import get_engine
+
+    return get_engine(engine).run_benchmark(name, config)
+
+
+def run_suite(
+    suite: str, config: RunConfig, engine=None
+) -> List[BenchmarkOutcome]:
+    from .engine import get_engine
+
+    return get_engine(engine).run_benchmarks(
+        suite_benchmarks(suite), config
+    )

@@ -17,6 +17,7 @@ from ..compiler import compile_baseline, compile_decomposed, profile_program
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig, OutOfOrderCore
 from ..workloads import spec_benchmark
+from .engine import ExperimentEngine, get_engine
 from .harness import RunConfig
 
 
@@ -57,44 +58,63 @@ class MotivationResult:
         )
 
 
+def _motivation_job(payload) -> dict:
+    """Both core types over one benchmark's binaries; engine-mappable."""
+    name, config, window = payload
+    machine = config.machine_for(4)
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train = spec.build(seed=config.train_seed)
+    ref = spec.build(seed=config.ref_seeds[0])
+    profile = profile_program(
+        lower(train), max_instructions=config.max_instructions
+    )
+    baseline = compile_baseline(ref, profile=profile)
+    decomposed = compile_decomposed(ref, profile=profile)
+
+    io_base = InOrderCore(machine).run(
+        baseline.program, max_instructions=config.max_instructions
+    )
+    io_dec = InOrderCore(machine).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    ooo_base = OutOfOrderCore(machine, window=window).run(
+        baseline.program, max_instructions=config.max_instructions
+    )
+    ooo_dec = OutOfOrderCore(machine, window=window).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    return {
+        "inorder_speedup": speedup_percent(io_base, io_dec),
+        "ooo_speedup": speedup_percent(ooo_base, ooo_dec),
+        "ooo_vs_inorder_baseline": speedup_percent(io_base, ooo_base),
+        "simulated_cycles": (
+            io_base.cycles + io_dec.cycles
+            + ooo_base.cycles + ooo_dec.cycles
+        ),
+    }
+
+
 def run(
     benchmarks: Tuple[str, ...] = ("h264ref", "omnetpp", "gcc", "wrf"),
     config: Optional[RunConfig] = None,
     window: int = 64,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MotivationResult:
     config = config or RunConfig()
-    machine = config.machine_for(4)
-    rows: List[MotivationRow] = []
-    for name in benchmarks:
-        spec = spec_benchmark(name, iterations=config.iterations)
-        train = spec.build(seed=config.train_seed)
-        ref = spec.build(seed=config.ref_seeds[0])
-        profile = profile_program(
-            lower(train), max_instructions=config.max_instructions
+    results = get_engine(engine).map(
+        _motivation_job,
+        [(name, config, window) for name in benchmarks],
+        labels=[f"motivation:{name}" for name in benchmarks],
+    )
+    rows = [
+        MotivationRow(
+            benchmark=name,
+            inorder_speedup=result["inorder_speedup"],
+            ooo_speedup=result["ooo_speedup"],
+            ooo_vs_inorder_baseline=result["ooo_vs_inorder_baseline"],
         )
-        baseline = compile_baseline(ref, profile=profile)
-        decomposed = compile_decomposed(ref, profile=profile)
-
-        io_base = InOrderCore(machine).run(
-            baseline.program, max_instructions=config.max_instructions
-        )
-        io_dec = InOrderCore(machine).run(
-            decomposed.program, max_instructions=config.max_instructions
-        )
-        ooo_base = OutOfOrderCore(machine, window=window).run(
-            baseline.program, max_instructions=config.max_instructions
-        )
-        ooo_dec = OutOfOrderCore(machine, window=window).run(
-            decomposed.program, max_instructions=config.max_instructions
-        )
-        rows.append(
-            MotivationRow(
-                benchmark=name,
-                inorder_speedup=speedup_percent(io_base, io_dec),
-                ooo_speedup=speedup_percent(ooo_base, ooo_dec),
-                ooo_vs_inorder_baseline=speedup_percent(io_base, ooo_base),
-            )
-        )
+        for name, result in zip(benchmarks, results)
+    ]
     return MotivationResult(rows=rows)
 
 

@@ -30,6 +30,7 @@ from ..compiler import compile_baseline, compile_decomposed, profile_program
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig
 from ..workloads import spec_benchmark
+from .engine import ExperimentEngine, get_engine
 from .harness import RunConfig
 
 #: The hard-to-predict benchmarks the paper calls out.
@@ -98,48 +99,67 @@ class SensitivityResult:
         )
 
 
+def _sensitivity_job(payload) -> Dict:
+    """One (benchmark, predictor) rung of the ladder; engine-mappable."""
+    name, pred_name, config = payload
+    factory = dict(LADDER)[pred_name]
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train = spec.build(seed=config.train_seed)
+    ref = spec.build(seed=config.ref_seeds[0])
+    # Profile/select with the same predictor the hardware runs:
+    # better predictors expose more candidates, as in the paper.
+    profile = profile_program(
+        lower(train),
+        predictor_factory=factory,
+        max_instructions=config.max_instructions,
+    )
+    baseline = compile_baseline(ref, profile=profile)
+    decomposed = compile_decomposed(
+        ref,
+        profile=profile,
+        selection_config=config.selection,
+        transform_config=config.transform,
+    )
+    machine = MachineConfig.paper_default().with_predictor(factory)
+    base_run = InOrderCore(machine).run(
+        baseline.program, max_instructions=config.max_instructions
+    )
+    dec_run = InOrderCore(machine).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    total = base_run.stats.cond_branches or 1
+    return {
+        "mispredict_rate": 100.0 * base_run.stats.cond_mispredicts / total,
+        "speedup": speedup_percent(base_run, dec_run),
+        "simulated_cycles": base_run.cycles + dec_run.cycles,
+    }
+
+
 def run(
     benchmarks: Tuple[str, ...] = HARD_BENCHMARKS,
     config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
     config = config or RunConfig()
-    points: List[SensitivityPoint] = []
-    for name in benchmarks:
-        spec = spec_benchmark(name, iterations=config.iterations)
-        train = spec.build(seed=config.train_seed)
-        ref = spec.build(seed=config.ref_seeds[0])
-        for pred_name, factory in LADDER:
-            # Profile/select with the same predictor the hardware runs:
-            # better predictors expose more candidates, as in the paper.
-            profile = profile_program(
-                lower(train),
-                predictor_factory=factory,
-                max_instructions=config.max_instructions,
-            )
-            baseline = compile_baseline(ref, profile=profile)
-            decomposed = compile_decomposed(
-                ref,
-                profile=profile,
-                selection_config=config.selection,
-                transform_config=config.transform,
-            )
-            machine = MachineConfig.paper_default().with_predictor(factory)
-            base_run = InOrderCore(machine).run(
-                baseline.program, max_instructions=config.max_instructions
-            )
-            dec_run = InOrderCore(machine).run(
-                decomposed.program, max_instructions=config.max_instructions
-            )
-            total = base_run.stats.cond_branches or 1
-            rate = 100.0 * base_run.stats.cond_mispredicts / total
-            points.append(
-                SensitivityPoint(
-                    benchmark=name,
-                    predictor=pred_name,
-                    mispredict_rate=rate,
-                    speedup=speedup_percent(base_run, dec_run),
-                )
-            )
+    payloads = [
+        (name, pred_name, config)
+        for name in benchmarks
+        for pred_name, _ in LADDER
+    ]
+    results = get_engine(engine).map(
+        _sensitivity_job,
+        payloads,
+        labels=[f"sensitivity:{n}:{p}" for n, p, _ in payloads],
+    )
+    points = [
+        SensitivityPoint(
+            benchmark=name,
+            predictor=pred_name,
+            mispredict_rate=result["mispredict_rate"],
+            speedup=result["speedup"],
+        )
+        for (name, pred_name, _), result in zip(payloads, results)
+    ]
     return SensitivityResult(points=points)
 
 

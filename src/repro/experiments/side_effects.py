@@ -25,6 +25,7 @@ from ..compiler import compile_baseline, compile_decomposed, profile_program
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig
 from ..workloads import spec_benchmark, suite_benchmarks
+from .engine import ExperimentEngine, get_engine
 from .harness import RunConfig
 
 
@@ -47,33 +48,50 @@ class IssueIncreaseResult:
         )
 
 
+def _issue_job(payload) -> dict:
+    """Figure 14 datapoint for one benchmark; engine-mappable."""
+    name, config = payload
+    machine = config.machine_for(4)
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train = spec.build(seed=config.train_seed)
+    ref = spec.build(seed=config.ref_seeds[0])
+    profile = profile_program(
+        lower(train), max_instructions=config.max_instructions
+    )
+    baseline = compile_baseline(ref, profile=profile)
+    decomposed = compile_decomposed(ref, profile=profile)
+    base_run = InOrderCore(machine).run(
+        baseline.program, max_instructions=config.max_instructions
+    )
+    dec_run = InOrderCore(machine).run(
+        decomposed.program, max_instructions=config.max_instructions
+    )
+    return {
+        "increase": issued_increase_percent(base_run, dec_run),
+        "simulated_cycles": base_run.cycles + dec_run.cycles,
+    }
+
+
 def run_issue_increase(
     config: Optional[RunConfig] = None,
     suites: Tuple[str, ...] = ("int2006", "fp2006"),
+    engine: Optional[ExperimentEngine] = None,
 ) -> IssueIncreaseResult:
     config = config or RunConfig()
-    machine = config.machine_for(4)
-    values: List[Tuple[str, float]] = []
-    for suite in suites:
-        for name in suite_benchmarks(suite):
-            spec = spec_benchmark(name, iterations=config.iterations)
-            train = spec.build(seed=config.train_seed)
-            ref = spec.build(seed=config.ref_seeds[0])
-            profile = profile_program(
-                lower(train), max_instructions=config.max_instructions
-            )
-            baseline = compile_baseline(ref, profile=profile)
-            decomposed = compile_decomposed(ref, profile=profile)
-            base_run = InOrderCore(machine).run(
-                baseline.program, max_instructions=config.max_instructions
-            )
-            dec_run = InOrderCore(machine).run(
-                decomposed.program, max_instructions=config.max_instructions
-            )
-            values.append(
-                (name, issued_increase_percent(base_run, dec_run))
-            )
-    return IssueIncreaseResult(values=values)
+    names = [
+        name for suite in suites for name in suite_benchmarks(suite)
+    ]
+    results = get_engine(engine).map(
+        _issue_job,
+        [(name, config) for name in names],
+        labels=[f"fig14:{name}" for name in names],
+    )
+    return IssueIncreaseResult(
+        values=[
+            (name, result["increase"])
+            for name, result in zip(names, results)
+        ]
+    )
 
 
 @dataclass
@@ -113,42 +131,57 @@ class ICacheResult:
         )
 
 
+def _icache_job(payload) -> dict:
+    """Section 6.1 datapoint for one benchmark; engine-mappable."""
+    name, config = payload
+    machine_32k = config.machine_for(4)
+    machine_24k = machine_32k.with_icache_bytes(24 * 1024)
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train = spec.build(seed=config.train_seed)
+    ref = spec.build(seed=config.ref_seeds[0])
+    profile = profile_program(
+        lower(train), max_instructions=config.max_instructions
+    )
+    baseline = compile_baseline(ref, profile=profile)
+    decomposed = compile_decomposed(ref, profile=profile)
+    run_32k = InOrderCore(machine_32k).run(
+        baseline.program, max_instructions=config.max_instructions
+    )
+    run_24k = InOrderCore(machine_24k).run(
+        baseline.program, max_instructions=config.max_instructions
+    )
+    misses = run_32k.stats.icache_misses or 1
+    return {
+        # Slowdown of the smaller I$ = -speedup.
+        "slowdown": -speedup_percent(run_32k, run_24k),
+        "pisc": decomposed.transform.pisc,
+        "shadow": (
+            100.0 * run_32k.stats.icache_misses_under_mispredict / misses
+        ),
+        "simulated_cycles": run_32k.cycles + run_24k.cycles,
+    }
+
+
 def run_icache(
     config: Optional[RunConfig] = None,
     suite: str = "int2006",
+    engine: Optional[ExperimentEngine] = None,
 ) -> ICacheResult:
     config = config or RunConfig()
-    machine_32k = config.machine_for(4)
-    machine_24k = machine_32k.with_icache_bytes(24 * 1024)
-    slowdowns: List[Tuple[str, float]] = []
-    piscs: List[Tuple[str, float]] = []
-    shadows: List[Tuple[str, float]] = []
-    for name in suite_benchmarks(suite):
-        spec = spec_benchmark(name, iterations=config.iterations)
-        train = spec.build(seed=config.train_seed)
-        ref = spec.build(seed=config.ref_seeds[0])
-        profile = profile_program(
-            lower(train), max_instructions=config.max_instructions
-        )
-        baseline = compile_baseline(ref, profile=profile)
-        decomposed = compile_decomposed(ref, profile=profile)
-        run_32k = InOrderCore(machine_32k).run(
-            baseline.program, max_instructions=config.max_instructions
-        )
-        run_24k = InOrderCore(machine_24k).run(
-            baseline.program, max_instructions=config.max_instructions
-        )
-        # Slowdown of the smaller I$ = -speedup.
-        slowdowns.append((name, -speedup_percent(run_32k, run_24k)))
-        piscs.append((name, decomposed.transform.pisc))
-        misses = run_32k.stats.icache_misses or 1
-        shadows.append(
-            (name, 100.0 * run_32k.stats.icache_misses_under_mispredict / misses)
-        )
+    names = suite_benchmarks(suite)
+    results = get_engine(engine).map(
+        _icache_job,
+        [(name, config) for name in names],
+        labels=[f"sec61:{name}" for name in names],
+    )
     return ICacheResult(
-        shrink_slowdowns=slowdowns,
-        piscs=piscs,
-        misses_under_mispredict=shadows,
+        shrink_slowdowns=[
+            (n, r["slowdown"]) for n, r in zip(names, results)
+        ],
+        piscs=[(n, r["pisc"]) for n, r in zip(names, results)],
+        misses_under_mispredict=[
+            (n, r["shadow"]) for n, r in zip(names, results)
+        ],
     )
 
 

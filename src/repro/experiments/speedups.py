@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import geomean_speedup, render_bars
+from .engine import ExperimentEngine, get_engine
 from .harness import BenchmarkOutcome, RunConfig, run_suite
 
 #: Figure number -> (suite, use best input instead of the all-input mean).
@@ -54,13 +55,15 @@ class SpeedupFigure:
 
 
 def run_figure(
-    figure: str, config: Optional[RunConfig] = None
+    figure: str,
+    config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> SpeedupFigure:
     if figure not in FIGURES:
         raise KeyError(f"unknown figure {figure!r}; one of {sorted(FIGURES)}")
     suite, best = FIGURES[figure]
     config = config or RunConfig(widths=(2, 4, 8))
-    outcomes = run_suite(suite, config)
+    outcomes = get_engine(engine).run_suite(suite, config)
     series: Dict[int, List[Tuple[str, float]]] = {}
     for width in config.widths:
         values = [

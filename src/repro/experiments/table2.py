@@ -7,16 +7,21 @@ from typing import List, Optional
 
 from ..analysis import TABLE2_HEADER, render_table
 from ..workloads import BENCHMARKS
-from .harness import BenchmarkOutcome, RunConfig, run_suite
+from .engine import ExperimentEngine, get_engine
+from .harness import BenchmarkOutcome, RunConfig
 
 
-def run(config: Optional[RunConfig] = None) -> List[BenchmarkOutcome]:
+def run(
+    config: Optional[RunConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> List[BenchmarkOutcome]:
     """All SPEC 2006 benchmarks (INT then FP), sorted by measured SPD
     within each half, matching the published table's layout."""
     config = config or RunConfig()
+    engine = get_engine(engine)
     outcomes = []
     for suite in ("int2006", "fp2006"):
-        part = run_suite(suite, config)
+        part = engine.run_suite(suite, config)
         part.sort(key=lambda o: -o.metrics.spd)
         outcomes.extend(part)
     return outcomes

@@ -196,6 +196,53 @@ def render(data: Dict) -> str:
         "* **Table 1** is asserted verbatim by tests/uarch/test_config.py.\n"
     )
 
+    parts.append("## Runtime: parallel engine, cache, manifests\n")
+    parts.append(
+        "Regeneration runs through "
+        "`repro.experiments.engine.ExperimentEngine`, which decomposes "
+        "every table/figure into independent (benchmark × REF seed) "
+        "simulation jobs.\n\n"
+        "* **`REPRO_JOBS`** (env) or **`--jobs`** (CLI) sets the "
+        "worker-process count; the default is every core.  `jobs=1` is "
+        "the serial in-process path.  Reassembly is ordered by "
+        "submission, so every worker count produces byte-identical "
+        "outputs (asserted by `tests/integration/test_engine.py` and "
+        "`benchmarks/test_engine_smoke.py`).\n"
+        "* **Cache** (`results/.cache/`, relocatable via "
+        "`REPRO_CACHE_DIR`, disabled by `REPRO_CACHE=0` / `--no-cache`): "
+        "each finished job is stored under a SHA-256 key covering the "
+        "job function's qualified name, the benchmark, seed, widths, "
+        "every `RunConfig`/`MachineConfig`/`SelectionConfig`/"
+        "`TransformConfig` field (callables fingerprint by qualified "
+        "name), a hash of all `repro` sources, and a cache-schema "
+        "version.  **Invalidation rules**: editing any field of any "
+        "config, any `src/repro/**.py` file, or the schema version "
+        "misses; editing docs, tests, or archived results hits.  Delete "
+        "the directory to clear it.\n"
+        "* **Manifests**: each regenerated table/figure gets a "
+        "`results/<name>.manifest.json` (the CLI writes "
+        "`results/run_manifest.json`) with this schema:\n\n"
+        "```json\n"
+        "{\n"
+        '  "schema": 1,\n'
+        '  "written_unix": 1700000000.0,\n'
+        '  "engine": {"jobs": 8, "cache_dir": "...", '
+        '"cache_enabled": true,\n'
+        '             "code_version": "<16-hex source hash>"},\n'
+        '  "totals": {"jobs": 29, "cache_hits": 29, "cache_misses": 0,\n'
+        '             "wall_s": 47.0, "simulated_cycles": 12996103},\n'
+        '  "jobs": [{"label": "h264ref@seed1", "key": "<sha256>",\n'
+        '            "cache": "hit", "wall_s": 1.77, '
+        '"simulated_cycles": 302675}],\n'
+        '  "config": {"__class__": "RunConfig", "...": "every field"}\n'
+        "}\n"
+        "```\n\n"
+        "Metric provenance: every Table 2 column is measured on the "
+        "4-wide runs (the configuration the published table reports) "
+        "and averaged over all REF inputs; SPD is the geomean over REF "
+        "inputs at 4-wide.\n"
+    )
+
     parts.append("## Known deviations\n")
     parts.append(
         "1. **Magnitude compression (~0.5-0.7x)** on headline speedups; "

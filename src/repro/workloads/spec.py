@@ -20,7 +20,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .branch_process import BranchSiteSpec
-from .synthetic import WorkloadSpec, dynamic_instructions_per_iteration
+from .synthetic import (
+    WorkloadSpec,
+    _stable_hash,
+    dynamic_instructions_per_iteration,
+)
 
 #: D-cache behaviour class -> (cold loads per successor block, reuse level).
 #: "low" keeps every payload load L1-resident; heavier classes add loads
@@ -169,7 +173,10 @@ def site_population(bench: BenchmarkDef) -> List[BranchSiteSpec]:
     tracks PBC; the noise level is then scaled so that the whole program's
     expected misprediction rate lands near the paper's MPPKI.
     """
-    rng = random.Random(sum(ord(c) for c in bench.name) * 9176)
+    # FNV-style hash of the name: order-sensitive, so permuted/anagram
+    # benchmark names get distinct site orderings (a plain character sum
+    # would collide them onto the same stream).
+    rng = random.Random(_stable_hash(bench.name) * 9176)
     n = bench.n_sites
     candidate_count = max(1, round(bench.paper.pbc / 100.0 * n))
     # Unpredictable (predication-class) sites scale with the benchmark's

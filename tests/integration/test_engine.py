@@ -1,0 +1,146 @@
+"""The parallel experiment engine: determinism, caching, observability.
+
+These run at quick scale so the parallel path (2+ worker processes) is
+exercised on every pytest run.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import SelectionConfig
+from repro.experiments import ExperimentEngine, RunConfig
+from repro.experiments.engine import code_version, fingerprint
+
+
+def _outcomes_equal(a, b) -> bool:
+    return (
+        a.name == b.name
+        and a.speedups == b.speedups
+        and vars(a.metrics) == vars(b.metrics)
+        and a.converted == b.converted
+        and a.forward_branches == b.forward_branches
+    )
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        """jobs=1 and jobs=4 produce identical BenchmarkOutcomes."""
+        config = RunConfig.quick()
+        names = ["h264ref", "omnetpp"]
+        serial = ExperimentEngine(jobs=1, use_cache=False).run_benchmarks(
+            names, config
+        )
+        parallel = ExperimentEngine(jobs=4, use_cache=False).run_benchmarks(
+            names, config
+        )
+        assert len(serial) == len(parallel) == 2
+        for a, b in zip(serial, parallel):
+            assert _outcomes_equal(a, b)
+
+    def test_table2_metrics_pinned_to_4wide(self):
+        """Every Table 2 column comes from the 4-wide runs, so adding
+        other widths to the sweep must not change the metrics."""
+        multi = dataclasses.replace(RunConfig.quick(), widths=(2, 4, 8))
+        only4 = dataclasses.replace(RunConfig.quick(), widths=(4,))
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+        a = engine.run_benchmark("omnetpp", multi)
+        b = engine.run_benchmark("omnetpp", only4)
+        assert vars(a.metrics) == vars(b.metrics)
+        assert a.speedups[4] == b.speedups[4]
+
+
+class TestCache:
+    def test_second_run_is_all_hits(self, tmp_path):
+        config = RunConfig.quick()
+        first_engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=True
+        )
+        first = first_engine.run_benchmark("h264ref", config)
+        assert first_engine.cache_misses == len(config.ref_seeds)
+        assert first_engine.cache_hits == 0
+
+        second_engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=True
+        )
+        second = second_engine.run_benchmark("h264ref", config)
+        assert second_engine.cache_hits == len(config.ref_seeds)
+        assert second_engine.cache_misses == 0
+        assert _outcomes_equal(first, second)
+
+    def test_config_field_edit_invalidates(self, tmp_path):
+        config = RunConfig.quick()
+        ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=True
+        ).run_benchmark("h264ref", config)
+
+        changed = dataclasses.replace(
+            config,
+            selection=SelectionConfig(min_exposed_predictability=0.07),
+        )
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=True
+        )
+        engine.run_benchmark("h264ref", changed)
+        assert engine.cache_hits == 0
+        assert engine.cache_misses == len(changed.ref_seeds)
+
+    def test_fingerprint_covers_nested_configs(self):
+        a = fingerprint(RunConfig.quick())
+        b = fingerprint(
+            dataclasses.replace(
+                RunConfig.quick(),
+                transform=dataclasses.replace(
+                    RunConfig.quick().transform, max_hoist_per_side=3
+                ),
+            )
+        )
+        assert a != b
+        json.dumps(a)  # must be JSON-serialisable
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestObservability:
+    def test_manifest_written(self, tmp_path):
+        config = RunConfig.quick()
+        seen = []
+        engine = ExperimentEngine(
+            jobs=1,
+            cache_dir=tmp_path,
+            use_cache=True,
+            progress=lambda done, total, label: seen.append(
+                (done, total, label)
+            ),
+        )
+        engine.run_benchmark("h264ref", config)
+        assert seen and seen[-1][0] == seen[-1][1] == len(config.ref_seeds)
+
+        path = tmp_path / "run_manifest.json"
+        engine.write_manifest(path, config=config)
+        manifest = json.loads(path.read_text())
+        assert manifest["totals"]["jobs"] == len(config.ref_seeds)
+        assert manifest["totals"]["cache_misses"] == len(config.ref_seeds)
+        assert manifest["totals"]["simulated_cycles"] > 0
+        assert manifest["totals"]["wall_s"] > 0
+        assert manifest["engine"]["code_version"] == code_version()
+        assert manifest["config"]["__class__"] == "RunConfig"
+        for record in manifest["jobs"]:
+            assert record["cache"] in ("hit", "miss")
+            assert "h264ref" in record["label"]
+
+
+class TestQuickConfig:
+    def test_quick_scales_every_budget(self):
+        full, quick = RunConfig(), RunConfig.quick()
+        assert quick.iterations < full.iterations
+        assert len(quick.ref_seeds) < len(full.ref_seeds)
+        assert quick.max_instructions < full.max_instructions
+        # The instruction budget shrinks in step with the iteration count,
+        # so "quick" can never simulate a full-length program.
+        assert quick.max_instructions / full.max_instructions == pytest.approx(
+            quick.iterations / full.iterations, rel=0.05
+        )

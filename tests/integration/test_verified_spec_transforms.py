@@ -18,9 +18,10 @@ SWEEP = ("h264ref", "omnetpp", "mcf", "wrf", "vortex00", "art00")
 
 @pytest.mark.parametrize("name", SWEEP)
 def test_transformed_benchmark_verifies(name):
-    # 400 iterations: enough profiling signal for every sweep member's
-    # selection heuristic to fire (mcf/wrf candidates are borderline).
-    spec = spec_benchmark(name, iterations=400)
+    # 600 iterations (the paper-default scale): enough profiling signal
+    # for every sweep member's selection heuristic to fire (mcf/wrf
+    # candidates are borderline).
+    spec = spec_benchmark(name, iterations=600)
     func = spec.build(seed=1)
     baseline = compile_baseline(func)
     decomposed = compile_decomposed(func, profile=baseline.profile)

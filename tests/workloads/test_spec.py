@@ -76,6 +76,17 @@ class TestSitePopulations:
         b = site_population(BENCHMARKS["gcc"])
         assert a == b
 
+    def test_permuted_names_get_distinct_streams(self):
+        # The shuffle seed hashes the name order-sensitively: anagram
+        # benchmark names must not collide onto the same site ordering
+        # (a plain character sum would).
+        from dataclasses import replace
+
+        base = BENCHMARKS["gcc"]
+        a = site_population(replace(base, name="abc"))
+        b = site_population(replace(base, name="cba"))
+        assert a != b
+
 
 class TestSpecMapping:
     def test_aspcb_maps_to_cond_miss(self):
