@@ -69,3 +69,38 @@ class HybridPredictor(DirectionPredictor):
             )
         if taken != prediction.taken:
             self._history = ((history << 1) | int(taken)) & self._history_mask
+
+    def predict_and_train(self, branch_id: int, taken: bool) -> bool:
+        # Trace-measurement fast path: identical table/history transitions
+        # to lookup+update, minus the per-event Prediction and meta tuple.
+        history = self._history
+        bimodal = self._bimodal
+        gshare = self._gshare
+        index = branch_id & self._mask
+        gsh_index = (branch_id ^ history) & self._mask
+
+        bim_counter = bimodal[index]
+        gsh_counter = gshare[gsh_index]
+        bim_taken = bim_counter >= 2
+        gsh_taken = gsh_counter >= 2
+        predicted = gsh_taken if self._chooser[index] >= 2 else bim_taken
+
+        if taken:
+            if bim_counter < 3:
+                bimodal[index] = bim_counter + 1
+            if gsh_counter < 3:
+                gshare[gsh_index] = gsh_counter + 1
+        else:
+            if bim_counter > 0:
+                bimodal[index] = bim_counter - 1
+            if gsh_counter > 0:
+                gshare[gsh_index] = gsh_counter - 1
+        if bim_taken != gsh_taken:
+            chooser = self._chooser
+            if gsh_taken == taken:
+                if chooser[index] < 3:
+                    chooser[index] += 1
+            elif chooser[index] > 0:
+                chooser[index] -= 1
+        self._history = ((history << 1) | int(taken)) & self._history_mask
+        return predicted == taken

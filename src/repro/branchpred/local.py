@@ -57,3 +57,20 @@ class LocalPredictor(DirectionPredictor):
             self._histories[slot] = (
                 (history << 1) | int(taken)
             ) & self._history_keep
+
+    def predict_and_train(self, branch_id: int, taken: bool) -> bool:
+        # Speculative shift + mispredict repair collapse to shifting in
+        # the true outcome; no Prediction allocated per event.
+        histories = self._histories
+        patterns = self._patterns
+        slot = branch_id & self._history_mask
+        history = histories[slot]
+        index = (history ^ (branch_id << 2)) & self._pattern_mask
+        counter = patterns[index]
+        if taken:
+            if counter < 3:
+                patterns[index] = counter + 1
+        elif counter > 0:
+            patterns[index] = counter - 1
+        histories[slot] = ((history << 1) | int(taken)) & self._history_keep
+        return (counter >= 2) == taken

@@ -23,6 +23,9 @@ class StaticTakenPredictor(DirectionPredictor):
     def update(self, prediction: Prediction, taken: bool) -> None:
         return None
 
+    def predict_and_train(self, branch_id: int, taken: bool) -> bool:
+        return self._taken == taken
+
 
 class BimodalPredictor(DirectionPredictor):
     """Per-site 2-bit saturating counters, PC-indexed."""
@@ -45,6 +48,19 @@ class BimodalPredictor(DirectionPredictor):
     def update(self, prediction: Prediction, taken: bool) -> None:
         (index,) = prediction.meta
         self._table[index] = saturating_update(self._table[index], taken)
+
+    def predict_and_train(self, branch_id: int, taken: bool) -> bool:
+        # Trace-measurement fast path: same table transitions as
+        # lookup+update without allocating a Prediction per event.
+        table = self._table
+        index = branch_id & self._mask
+        counter = table[index]
+        if taken:
+            if counter < 3:
+                table[index] = counter + 1
+        elif counter > 0:
+            table[index] = counter - 1
+        return (counter >= 2) == taken
 
 
 class GSharePredictor(DirectionPredictor):
@@ -86,3 +102,18 @@ class GSharePredictor(DirectionPredictor):
             # Repair: rebuild history as if the true outcome had been
             # shifted in at lookup time.
             self._history = ((history << 1) | int(taken)) & self._history_mask
+
+    def predict_and_train(self, branch_id: int, taken: bool) -> bool:
+        # With the outcome in hand, the speculative shift and its repair
+        # collapse to shifting in the true outcome directly.
+        history = self._history
+        table = self._table
+        index = (branch_id ^ history) & self._mask
+        counter = table[index]
+        if taken:
+            if counter < 3:
+                table[index] = counter + 1
+        elif counter > 0:
+            table[index] = counter - 1
+        self._history = ((history << 1) | int(taken)) & self._history_mask
+        return (counter >= 2) == taken

@@ -11,14 +11,19 @@ per site.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .base import DirectionPredictor, Prediction, saturating_update
 
 
 def _fold(history: int, length: int, bits: int) -> int:
-    """Fold the low ``length`` history bits into ``bits`` bits by XOR."""
+    """Fold the low ``length`` history bits into ``bits`` bits by XOR.
+
+    This is the *specification* of the folded value.  The hot path keeps
+    the same quantity incrementally (a circular-shift register per table,
+    as in real TAGE hardware) and only falls back to this function when a
+    misprediction repairs the speculative history.
+    """
     value = history & ((1 << length) - 1)
     mask = (1 << bits) - 1
     folded = 0
@@ -28,15 +33,17 @@ def _fold(history: int, length: int, bits: int) -> int:
     return folded
 
 
-@dataclass
-class _TaggedEntry:
-    tag: int = 0
-    counter: int = 4  # 3-bit, weakly taken at 4 (range 0..7)
-    useful: int = 0  # 2-bit
-
-
 class TagePredictor(DirectionPredictor):
-    """TAGE with a bimodal base and ``len(history_lengths)`` tagged tables."""
+    """TAGE with a bimodal base and ``len(history_lengths)`` tagged tables.
+
+    The tagged components are stored as parallel flat int lists
+    (tag/counter/useful per table) and the per-table folded histories are
+    maintained incrementally: pushing one history bit updates each fold in
+    O(1) -- a rotate, the incoming bit, and the expiring bit XORed back
+    out at ``length mod bits`` -- instead of re-folding ``length`` history
+    bits per table on every lookup.  Both choices are exact: predictions
+    and table state are bit-identical to the naive re-fold.
+    """
 
     name = "tage"
 
@@ -54,41 +61,95 @@ class TagePredictor(DirectionPredictor):
         self._tag_bits = tag_bits
         self._tag_mask = (1 << tag_bits) - 1
         self._lengths = history_lengths
-        self._tables: List[List[_TaggedEntry]] = [
-            [_TaggedEntry() for _ in range(1 << table_bits)]
-            for _ in history_lengths
-        ]
+        size = 1 << table_bits
+        count = len(history_lengths)
+        self._tab_tag: List[List[int]] = [[0] * size for _ in range(count)]
+        # 3-bit counters, weakly taken at 4 (range 0..7).
+        self._tab_ctr: List[List[int]] = [[4] * size for _ in range(count)]
+        # 2-bit usefulness.
+        self._tab_use: List[List[int]] = [[0] * size for _ in range(count)]
         self._history = 0
         self._max_history = max(history_lengths)
+        self._hist_mask = (1 << self._max_history) - 1
         self._alloc_tick = 0
+        # Incrementally-maintained folds of the low `length` history bits,
+        # one pair (index-width, tag-width) per table, plus the per-table
+        # constants the O(1) update needs: the position of the expiring
+        # history bit and where its folded contribution lands.
+        self._idx_folds = [0] * count
+        self._tag_folds = [0] * count
+        self._fold_params = tuple(
+            (length - 1, length % table_bits, length % tag_bits)
+            for length in history_lengths
+        )
 
-    # -- indexing --------------------------------------------------------
+    # -- folded history ---------------------------------------------------
 
-    def _indices_tags(
-        self, branch_id: int, history: int
-    ) -> List[Tuple[int, int]]:
-        out = []
+    def _push_history(self, taken: int) -> None:
+        """Shift one outcome bit into the history and all folds, in O(1)
+        per table.
+
+        A history bit at position ``p`` contributes to folded position
+        ``p mod bits``; shifting the history rotates every contribution
+        left by one, the new bit lands at position 0, and the bit leaving
+        the ``length``-bit window (position ``length - 1`` before the
+        shift) is cancelled at ``length mod bits``.
+        """
+        history = self._history
+        idx_bits = self._table_bits
+        tag_bits = self._tag_bits
+        idx_mask = self._table_mask
+        tag_mask = self._tag_mask
+        idx_folds = self._idx_folds
+        tag_folds = self._tag_folds
+        i = 0
+        for expire, idx_out, tag_out in self._fold_params:
+            expired = (history >> expire) & 1
+            f = idx_folds[i]
+            f = ((f << 1) | (f >> (idx_bits - 1))) & idx_mask
+            idx_folds[i] = f ^ taken ^ (expired << idx_out)
+            g = tag_folds[i]
+            g = ((g << 1) | (g >> (tag_bits - 1))) & tag_mask
+            tag_folds[i] = g ^ taken ^ (expired << tag_out)
+            i += 1
+        self._history = ((history << 1) | taken) & self._hist_mask
+
+    def _refold(self) -> None:
+        """Recompute every fold from ``self._history`` (mispredict repair
+        rewrites the speculative history, invalidating the registers)."""
+        history = self._history
+        idx_bits = self._table_bits
+        tag_bits = self._tag_bits
         for i, length in enumerate(self._lengths):
-            folded = _fold(history, length, self._table_bits)
-            index = (branch_id ^ folded ^ (branch_id >> (i + 1))) & self._table_mask
-            tag_fold = _fold(history, length, self._tag_bits)
-            tag = (branch_id ^ (tag_fold << 1) ^ tag_fold) & self._tag_mask
-            out.append((index, tag))
-        return out
+            self._idx_folds[i] = _fold(history, length, idx_bits)
+            self._tag_folds[i] = _fold(history, length, tag_bits)
 
     # -- predictor interface ----------------------------------------------
 
     def lookup(self, branch_id: int) -> Prediction:
         history = self._history
-        slots = self._indices_tags(branch_id, history)
+        table_mask = self._table_mask
+        tag_mask = self._tag_mask
+        idx_folds = self._idx_folds
+        tag_folds = self._tag_folds
+        count = len(self._lengths)
+        indices = [0] * count
+        tags = [0] * count
+        for i in range(count):
+            indices[i] = (
+                branch_id ^ idx_folds[i] ^ (branch_id >> (i + 1))
+            ) & table_mask
+            g = tag_folds[i]
+            tags[i] = (branch_id ^ (g << 1) ^ g) & tag_mask
+
+        tab_tag = self._tab_tag
         provider: Optional[int] = None
         alt: Optional[int] = None
-        for i in range(len(self._lengths) - 1, -1, -1):
-            index, tag = slots[i]
-            if self._tables[i][index].tag == tag:
+        for i in range(count - 1, -1, -1):
+            if tab_tag[i][indices[i]] == tags[i]:
                 if provider is None:
                     provider = i
-                elif alt is None:
+                else:
                     alt = i
                     break
 
@@ -96,35 +157,34 @@ class TagePredictor(DirectionPredictor):
         base_taken = self._base[base_index] >= 2
 
         if alt is not None:
-            alt_index, _ = slots[alt]
-            alt_taken = self._tables[alt][alt_index].counter >= 4
+            alt_taken = self._tab_ctr[alt][indices[alt]] >= 4
         else:
             alt_taken = base_taken
 
         if provider is not None:
-            prov_index, _ = slots[provider]
-            taken = self._tables[provider][prov_index].counter >= 4
+            taken = self._tab_ctr[provider][indices[provider]] >= 4
         else:
             taken = base_taken
 
-        self._history = (history << 1) | int(taken)
-        self._history &= (1 << self._max_history) - 1
-        meta = (branch_id, history, tuple(slots), provider, alt_taken,
+        self._push_history(int(taken))
+        meta = (branch_id, history, indices, tags, provider, alt_taken,
                 base_index, taken)
         return Prediction(taken=taken, meta=meta)
 
     def update(self, prediction: Prediction, taken: bool) -> None:
-        (branch_id, history, slots, provider, alt_taken, base_index,
-         predicted) = prediction.meta
+        (branch_id, history, indices, tags, provider, alt_taken,
+         base_index, predicted) = prediction.meta
 
         if provider is not None:
-            index, _ = slots[provider]
-            entry = self._tables[provider][index]
-            entry.counter = saturating_update(entry.counter, taken, maximum=7)
-            provider_taken = predicted
-            if provider_taken != alt_taken:
-                entry.useful = saturating_update(
-                    entry.useful, provider_taken == taken
+            index = indices[provider]
+            counters = self._tab_ctr[provider]
+            counters[index] = saturating_update(
+                counters[index], taken, maximum=7
+            )
+            if predicted != alt_taken:
+                useful = self._tab_use[provider]
+                useful[index] = saturating_update(
+                    useful[index], predicted == taken
                 )
         else:
             self._base[base_index] = saturating_update(
@@ -136,30 +196,45 @@ class TagePredictor(DirectionPredictor):
             start = (provider + 1) if provider is not None else 0
             allocated = False
             for i in range(start, len(self._lengths)):
-                index, tag = slots[i]
-                entry = self._tables[i][index]
-                if entry.useful == 0:
-                    entry.tag = tag
-                    entry.counter = 4 if taken else 3
+                index = indices[i]
+                if self._tab_use[i][index] == 0:
+                    self._tab_tag[i][index] = tags[i]
+                    self._tab_ctr[i][index] = 4 if taken else 3
                     allocated = True
                     break
             if not allocated:
                 for i in range(start, len(self._lengths)):
-                    index, _ = slots[i]
-                    entry = self._tables[i][index]
-                    entry.useful = max(entry.useful - 1, 0)
-            # Repair speculative history.
-            self._history = (history << 1) | int(taken)
-            self._history &= (1 << self._max_history) - 1
+                    index = indices[i]
+                    useful = self._tab_use[i]
+                    if useful[index] > 0:
+                        useful[index] -= 1
+            # Repair speculative history, then fix the folds.  The folds
+            # are a pure function of ``self._history``; when the repaired
+            # history differs from it only in the newest bit (always the
+            # case for immediate lookup->update flows, e.g. trace
+            # measurement), flipping folded position 0 everywhere is
+            # exact and O(tables).  Otherwise (deferred DBB updates with
+            # younger speculative lookups outstanding) rebuild in full.
+            repaired = ((history << 1) | int(taken)) & self._hist_mask
+            if self._history ^ repaired == 1:
+                self._history = repaired
+                idx_folds = self._idx_folds
+                tag_folds = self._tag_folds
+                for i in range(len(idx_folds)):
+                    idx_folds[i] ^= 1
+                    tag_folds[i] ^= 1
+            else:
+                self._history = repaired
+                self._refold()
 
         # Periodic graceful aging of usefulness (cheap stand-in for the
         # standard u-bit reset policy).
         self._alloc_tick += 1
         if self._alloc_tick >= 1 << 18:
             self._alloc_tick = 0
-            for table in self._tables:
-                for entry in table:
-                    entry.useful >>= 1
+            self._tab_use = [
+                [useful >> 1 for useful in table] for table in self._tab_use
+            ]
 
 
 class _LoopEntry:

@@ -16,15 +16,18 @@ Commands mirror the paper's evaluation artifacts:
 
 All commands accept ``--iterations N`` and ``--seeds K`` to trade fidelity
 for time, ``--jobs N`` to fan simulation jobs over worker processes
-(default: ``REPRO_JOBS`` or every core), and ``--no-cache`` to bypass the
-``results/.cache/`` result cache.  Engine-backed commands write a
-machine-readable ``results/run_manifest.json`` (config, per-job timings,
-cache hit/miss counts) next to the regenerated table.
+(default: ``REPRO_JOBS`` or every core), ``--no-cache`` to bypass the
+``results/.cache/`` result cache, and ``--profile`` (or ``REPRO_PROFILE=1``)
+to wrap every engine job in cProfile.  Engine-backed commands write a
+machine-readable ``results/run_manifest.json`` (config, per-job timings and
+simulated KIPS, cache hit/miss counts) next to the regenerated table;
+profiled runs additionally write ``results/run_manifest.profile.txt``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -48,6 +51,12 @@ def _progress(done: int, total: int, label: str) -> None:
 
 def _engine(args) -> ExperimentEngine:
     if args.engine is None:
+        if getattr(args, "profile", False):
+            # Via the environment so the switch reaches pool workers, and
+            # with the cache off: a cache hit never runs the worker, so a
+            # profiled run must actually execute every job.
+            os.environ["REPRO_PROFILE"] = "1"
+            args.no_cache = True
         args.engine = ExperimentEngine(
             jobs=args.jobs,
             use_cache=False if args.no_cache else None,
@@ -66,9 +75,14 @@ def _finish(args, config: Optional[RunConfig] = None) -> None:
         f"{len(engine.records)} jobs "
         f"({engine.cache_hits} cache hits, {engine.cache_misses} misses), "
         f"{engine.total_wall_s:.1f}s job time, "
-        f"{engine.total_simulated_cycles} cycles simulated; "
+        f"{engine.total_simulated_cycles} cycles simulated "
+        f"({engine.total_sim_kips:.0f} KIPS); "
         f"manifest: {RESULTS_DIR / 'run_manifest.json'}\n"
     )
+    if engine.profiles:
+        sys.stderr.write(
+            f"profiles: {RESULTS_DIR / 'run_manifest.profile.txt'}\n"
+        )
 
 
 def _cmd_table2(args) -> None:
@@ -145,7 +159,8 @@ def _cmd_motivation(args) -> None:
 
 
 def _cmd_bench(args) -> None:
-    outcome = run_benchmark(args.name, _config(args), engine=_engine(args))
+    config = _config(args)
+    outcome = run_benchmark(args.name, config, engine=_engine(args))
     metrics = outcome.metrics
     print(
         f"{outcome.name}: {metrics.spd:.1f}% speedup "
@@ -156,6 +171,7 @@ def _cmd_bench(args) -> None:
         f"ASPCB {metrics.aspcb:.1f}  MPPKI {metrics.mppki:.1f}  "
         f"PISCS {metrics.piscs:.1f}%"
     )
+    _finish(args, config)
 
 
 def _cmd_timeline(args) -> None:
@@ -192,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the results/.cache/ result cache",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile every engine job (implies --no-cache; equivalent "
+        "to REPRO_PROFILE=1) and write per-job top-20 cumulative "
+        "summaries next to the run manifest",
     )
     parser.set_defaults(engine=None)
     sub = parser.add_subparsers(dest="command", required=True)

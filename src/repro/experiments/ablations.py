@@ -63,6 +63,9 @@ def _hoist_job(payload) -> dict:
     return {
         "speedup": speedup_percent(base_run, dec_run),
         "simulated_cycles": base_run.cycles + dec_run.cycles,
+        "committed_instructions": (
+            base_run.stats.committed + dec_run.stats.committed
+        ),
     }
 
 
@@ -82,6 +85,9 @@ def _threshold_job(payload) -> dict:
         "converted": decomposed.transform.converted,
         "speedup": speedup_percent(base_run, dec_run),
         "simulated_cycles": base_run.cycles + dec_run.cycles,
+        "committed_instructions": (
+            base_run.stats.committed + dec_run.stats.committed
+        ),
     }
 
 
@@ -99,6 +105,9 @@ def _push_down_job(payload) -> dict:
     return {
         "speedup": speedup_percent(base_run, dec_run),
         "simulated_cycles": base_run.cycles + dec_run.cycles,
+        "committed_instructions": (
+            base_run.stats.committed + dec_run.stats.committed
+        ),
     }
 
 
@@ -124,6 +133,7 @@ def _dbb_job(payload) -> dict:
     return {
         "max_outstanding": captured[-1].max_outstanding,
         "simulated_cycles": run.cycles,
+        "committed_instructions": run.stats.committed,
     }
 
 

@@ -49,7 +49,9 @@ from typing import (
 CACHE_SCHEMA = 1
 
 #: Manifest layout version (see EXPERIMENTS.md for the schema).
-MANIFEST_SCHEMA = 1
+#: v2 adds committed-instruction counts and simulated-KIPS per job and in
+#: the totals.
+MANIFEST_SCHEMA = 2
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
@@ -96,11 +98,47 @@ def fingerprint(obj: Any) -> Any:
     raise TypeError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
 
 
+#: Number of cumulative-time entries kept per profiled job.
+PROFILE_TOP = 20
+
+
+def _env_profile_enabled() -> bool:
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def _profile_text(profiler) -> str:
+    """Top-N cumulative entries of a cProfile run, as plain text."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
+    return buffer.getvalue()
+
+
 def _run_timed(worker: Callable[[Any], Dict], payload: Any):
-    """Top-level so it pickles; returns (result, wall seconds)."""
+    """Top-level so it pickles; returns (result, wall seconds, profile).
+
+    Profiling is keyed off the ``REPRO_PROFILE`` environment variable
+    (not an argument) so the switch survives the trip into
+    ``ProcessPoolExecutor`` workers; ``profile`` is the top
+    :data:`PROFILE_TOP` cumulative-time entries, or ``None`` when
+    profiling is off.
+    """
+    if _env_profile_enabled():
+        import cProfile
+
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        result = profiler.runcall(worker, payload)
+        wall = time.perf_counter() - start
+        return result, wall, _profile_text(profiler)
     start = time.perf_counter()
     result = worker(payload)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, None
 
 
 def _seed_worker(payload) -> Dict:
@@ -155,6 +193,8 @@ class ExperimentEngine:
         self.cache_misses = 0
         #: One record per executed/looked-up job, in submission order.
         self.records: List[Dict] = []
+        #: (label, text) per profiled job (``REPRO_PROFILE=1`` runs only).
+        self.profiles: List[tuple] = []
 
     @property
     def total_wall_s(self) -> float:
@@ -163,6 +203,19 @@ class ExperimentEngine:
     @property
     def total_simulated_cycles(self) -> int:
         return sum(r["simulated_cycles"] for r in self.records)
+
+    @property
+    def total_committed_instructions(self) -> int:
+        return sum(r["committed_instructions"] for r in self.records)
+
+    @property
+    def total_sim_kips(self) -> float:
+        """Simulated-KIPS over every recorded job: committed (simulated)
+        instructions per wall-clock millisecond of job time."""
+        wall = self.total_wall_s
+        if wall <= 0:
+            return 0.0
+        return self.total_committed_instructions / wall / 1000.0
 
     def manifest(self, config: Any = None) -> Dict:
         """Machine-readable run record (see EXPERIMENTS.md for schema)."""
@@ -181,6 +234,9 @@ class ExperimentEngine:
                 "cache_misses": self.cache_misses,
                 "wall_s": self.total_wall_s,
                 "simulated_cycles": self.total_simulated_cycles,
+                "committed_instructions":
+                    self.total_committed_instructions,
+                "sim_kips": self.total_sim_kips,
             },
             "jobs": self.records,
         }
@@ -192,6 +248,19 @@ class ExperimentEngine:
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.manifest(config), indent=2) + "\n")
+        if self.profiles:
+            self.write_profiles(path.with_suffix(".profile.txt"))
+
+    def write_profiles(self, path: pathlib.Path) -> None:
+        """Write the per-job cProfile summaries gathered under
+        ``REPRO_PROFILE=1`` (one top-20-cumulative section per job)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        sections = [
+            f"==== {label} ====\n{text.strip()}\n"
+            for label, text in self.profiles
+        ]
+        path.write_text("\n".join(sections))
 
     # -- cache -------------------------------------------------------------
 
@@ -263,6 +332,7 @@ class ExperimentEngine:
         results: List[Optional[Dict]] = [None] * total
         walls = [0.0] * total
         hits = [False] * total
+        profiles: List[Optional[str]] = [None] * total
         pending: List[int] = []
         done = 0
         for i in range(total):
@@ -286,13 +356,15 @@ class ExperimentEngine:
                 }
                 for future in as_completed(futures):
                     i = futures[future]
-                    results[i], walls[i] = future.result()
+                    results[i], walls[i], profiles[i] = future.result()
                     done += 1
                     if self.progress:
                         self.progress(done, total, labels[i])
         else:
             for i in pending:
-                results[i], walls[i] = _run_timed(worker, payloads[i])
+                results[i], walls[i], profiles[i] = _run_timed(
+                    worker, payloads[i]
+                )
                 done += 1
                 if self.progress:
                     self.progress(done, total, labels[i])
@@ -302,24 +374,35 @@ class ExperimentEngine:
 
         for i in range(total):
             result = results[i]
-            cycles = (
-                result.get("simulated_cycles", 0)
-                if isinstance(result, dict)
-                else 0
-            )
+            if isinstance(result, dict):
+                cycles = result.get("simulated_cycles", 0)
+                committed = result.get("committed_instructions", 0)
+            else:
+                cycles = 0
+                committed = 0
             if hits[i]:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+            wall = walls[i]
             self.records.append(
                 {
                     "label": labels[i],
                     "key": keys[i],
                     "cache": "hit" if hits[i] else "miss",
-                    "wall_s": walls[i],
+                    "wall_s": wall,
                     "simulated_cycles": cycles,
+                    "committed_instructions": committed,
+                    # Simulated instructions per wall-clock millisecond;
+                    # for cache hits this reflects the recorded wall time
+                    # of the original execution.
+                    "sim_kips": (
+                        committed / wall / 1000.0 if wall > 0 else 0.0
+                    ),
                 }
             )
+            if profiles[i] is not None:
+                self.profiles.append((labels[i], profiles[i]))
         return results  # type: ignore[return-value]
 
     # -- benchmark-level API ----------------------------------------------

@@ -117,6 +117,7 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
     speedups: Dict[int, float] = {}
     metrics: Optional[BenchmarkMetrics] = None
     simulated_cycles = 0
+    committed_instructions = 0
     for width in config.widths:
         machine = config.machine_for(width)
         base_run = InOrderCore(machine).run(
@@ -126,6 +127,9 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
             decomposed.program, max_instructions=config.max_instructions
         )
         simulated_cycles += base_run.cycles + dec_run.cycles
+        committed_instructions += (
+            base_run.stats.committed + dec_run.stats.committed
+        )
         speedups[width] = speedup_percent(base_run, dec_run)
         if width == metrics_width:
             metrics = BenchmarkMetrics.from_runs(
@@ -140,6 +144,7 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
         "converted": decomposed.transform.converted,
         "forward_branches": decomposed.selection.forward_branches,
         "simulated_cycles": simulated_cycles,
+        "committed_instructions": committed_instructions,
     }
 
 

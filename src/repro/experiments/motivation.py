@@ -91,6 +91,10 @@ def _motivation_job(payload) -> dict:
             io_base.cycles + io_dec.cycles
             + ooo_base.cycles + ooo_dec.cycles
         ),
+        "committed_instructions": (
+            io_base.stats.committed + io_dec.stats.committed
+            + ooo_base.stats.committed + ooo_dec.stats.committed
+        ),
     }
 
 

@@ -132,6 +132,9 @@ def _sensitivity_job(payload) -> Dict:
         "mispredict_rate": 100.0 * base_run.stats.cond_mispredicts / total,
         "speedup": speedup_percent(base_run, dec_run),
         "simulated_cycles": base_run.cycles + dec_run.cycles,
+        "committed_instructions": (
+            base_run.stats.committed + dec_run.stats.committed
+        ),
     }
 
 

@@ -69,6 +69,9 @@ def _issue_job(payload) -> dict:
     return {
         "increase": issued_increase_percent(base_run, dec_run),
         "simulated_cycles": base_run.cycles + dec_run.cycles,
+        "committed_instructions": (
+            base_run.stats.committed + dec_run.stats.committed
+        ),
     }
 
 
@@ -159,6 +162,9 @@ def _icache_job(payload) -> dict:
             100.0 * run_32k.stats.icache_misses_under_mispredict / misses
         ),
         "simulated_cycles": run_32k.cycles + run_24k.cycles,
+        "committed_instructions": (
+            run_32k.stats.committed + run_24k.stats.committed
+        ),
     }
 
 

@@ -42,12 +42,25 @@ class Memory:
         return 0 <= address < self.limit
 
     def load(self, address: int, speculative: bool = False) -> Value:
+        if speculative:
+            return self.load_speculative(address)[0]
         if not self._check(address):
-            if speculative:
-                self.faults_suppressed += 1
-                return 0
             raise MemoryFault(f"load from invalid address {address:#x}")
         return self._words.get(address, 0)
+
+    def load_speculative(self, address: int) -> Tuple[Value, bool]:
+        """Non-faulting load: ``(value, suppressed)``.
+
+        This is the *single* home of the out-of-range suppression
+        semantics (zero value, ``faults_suppressed`` bump) so that the
+        simulators' hoisted-load paths and :meth:`load` cannot drift.
+        The flag lets timing models charge a suppressed access the L1
+        latency instead of consulting the cache hierarchy.
+        """
+        if 0 <= address < self.limit:
+            return self._words.get(address, 0), False
+        self.faults_suppressed += 1
+        return 0, True
 
     def store(self, address: int, value: Value) -> None:
         if not self._check(address):

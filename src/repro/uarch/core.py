@@ -21,25 +21,48 @@ path.  The RESOLVE issues like a branch, and on a mispredict redirects
 fetch into the compiler's correction code and triggers the deferred
 predictor update through the DBB.  Ordinary branches predict at fetch and
 squash-and-redirect at execute on a mispredict.
+
+Performance: the run loop drives off the program's pre-decoded rows
+(:mod:`repro.isa.decode`) -- flat tuples of ints, flags and bound
+evaluator functions -- instead of ``Instruction`` dataclasses, dispatches
+on an integer *kind* instead of ``is Opcode.X`` chains, and tracks
+per-cycle issue/port occupancy in fixed-size stamped rings instead of
+unbounded dicts.  Issue cycles are monotone in an in-order machine, so a
+ring slot whose stamp does not match the probed cycle is provably dead
+and reads as empty; this replaces the old 50k-entry periodic prune with
+O(1) state.  The architectural and stats output is bit-identical to the
+pre-decoded-free implementation (see ``tests/golden/``).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ..branchpred import BranchTargetBuffer, ReturnAddressStack
 from ..core.dbb import DecomposedBranchBuffer
 from ..isa import (
-    FuClass,
     Instruction,
     Memory,
     Opcode,
     Program,
-    branch_taken,
-    resolve_diverts,
-    wrap_int,
+)
+from ..isa.decode import (
+    K_BINOP,
+    K_BRANCH,
+    K_CALL,
+    K_CONST,
+    K_JMP,
+    K_LOAD,
+    K_NOP,
+    K_PREDICT,
+    K_RESOLVE,
+    K_RET,
+    K_SEL,
+    K_STORE,
+    evaluate_code,
+    predecode,
 )
 from .config import MachineConfig
 from .stats import SimStats
@@ -49,6 +72,13 @@ Value = Union[int, float]
 #: Bytes per instruction for I-cache addressing.
 _INST_BYTES = 4
 _LINE_SHIFT = 6  # 64-byte lines
+
+#: Stamped-ring size for the per-cycle issue/port occupancy tables.  Any
+#: power of two works (stamps disambiguate aliased cycles; in-order issue
+#: makes entries below the current issue cycle dead), sized generously so
+#: a ring slot is rarely recycled within one scheduling burst.
+_RING = 4096
+_RING_MASK = _RING - 1
 
 
 class SimulationError(Exception):
@@ -105,8 +135,10 @@ class InOrderCore:
 
         config = self.config
         stats = SimStats()
-        instructions = program.instructions
-        program_len = len(instructions)
+        decoded = predecode(program)
+        rows = decoded.rows
+        program_len = decoded.length
+        instructions = program.instructions  # only for the trace hook
 
         regs: List[Value] = [0] * 64
         reg_ready = [0] * 64
@@ -121,21 +153,38 @@ class InOrderCore:
         ras = ReturnAddressStack(config.ras_entries)
         dbb = DecomposedBranchBuffer(config.dbb_entries)
 
+        # Bound methods as locals: every one of these is called per
+        # dynamic instruction or branch.
+        access_inst = hierarchy.access_inst
+        access_data = hierarchy.access_data
+        predictor_lookup = predictor.lookup
+        predictor_update = predictor.update
+        btb_lookup = btb.lookup
+        btb_insert = btb.insert
+        dbb_insert = dbb.insert
+        dbb_resolve = dbb.resolve
+        dbb_recover_tail = dbb.recover_tail
+        ras_push = ras.push
+        ras_pop = ras.pop
+        mem_load = memory.load
+        mem_store = memory.store
+        mem_spec_load = memory.load_speculative
+
         width = config.width
         front_depth = config.front_end_stages
         fetch_buffer = config.fetch_buffer_entries
-        port_cap = {
-            FuClass.INT: config.int_ports,
-            FuClass.MEM: config.mem_ports,
-            FuClass.FP: config.fp_ports,
-        }
+        l1_latency = config.hierarchy.l1_latency
+        taken_bubble = config.taken_redirect_bubble
+        btb_bubble = config.btb_miss_bubble
+        port_caps = (0, config.int_ports, config.mem_ports, config.fp_ports)
 
-        issued_at: Dict[int, int] = {}
-        port_at: Dict[FuClass, Dict[int, int]] = {
-            FuClass.INT: {},
-            FuClass.MEM: {},
-            FuClass.FP: {},
-        }
+        # Per-cycle occupancy over the scheduling horizon: stamped rings
+        # indexed by ``cycle & _RING_MASK``; a mismatched stamp reads as
+        # an empty cycle (see the module docstring for why this is exact).
+        issued_cnt = [0] * _RING
+        issued_stamp = [-1] * _RING
+        port_cnt = (None, [0] * _RING, [0] * _RING, [0] * _RING)
+        port_stamp = (None, [-1] * _RING, [-1] * _RING, [-1] * _RING)
 
         fetch_cycle = 0
         fetch_slots = 0
@@ -146,29 +195,48 @@ class InOrderCore:
         # Issue cycles of the last `fetch_buffer` back-end instructions;
         # when full, its head gates fetch (the buffer entry frees at issue).
         issue_ring = deque(maxlen=fetch_buffer)
-        prune_mark = 0
+
+        # Stats counters as locals; folded into `stats` once at the end.
+        fetched = 0
+        committed = 0
+        hoisted_committed = 0
+        issued = 0
+        loads = 0
+        stores = 0
+        load_use_stall_cycles = 0
+        cond_branches = 0
+        cond_mispredicts = 0
+        taken_redirects = 0
+        btb_miss_bubbles = 0
+        predicts = 0
+        resolves = 0
+        resolve_mispredicts = 0
+        resolution_stall_cycles = 0
+        speculative_loads = 0
+        ras_mispredicts = 0
+        icache_misses = 0
+        icache_misses_under_mispredict = 0
+        halted = False
 
         pc = 0
-        committed = 0
-        mem_limit = memory.limit
 
         while committed < max_instructions:
             if pc < 0 or pc >= program_len:
                 raise SimulationError(
                     f"pc {pc} outside program of length {program_len}"
                 )
-            inst = instructions[pc]
-            op = inst.opcode
+            row = rows[pc]
+            kind = row[0]
 
             # ---------------- fetch timing ----------------
             byte_pc = pc << 2
             line = byte_pc >> _LINE_SHIFT
             if line != current_line:
-                ready = hierarchy.access_inst(byte_pc, fetch_cycle)
+                ready = access_inst(byte_pc, fetch_cycle)
                 if ready > fetch_cycle:
-                    stats.icache_misses += 1
+                    icache_misses += 1
                     if under_mispredict_window:
-                        stats.icache_misses_under_mispredict += 1
+                        icache_misses_under_mispredict += 1
                     fetch_cycle = ready
                     fetch_slots = 0
                 under_mispredict_window = False
@@ -185,43 +253,40 @@ class InOrderCore:
                     fetch_slots = 0
             fetch_time = fetch_cycle
             fetch_slots += 1
-            stats.fetched += 1
+            fetched += 1
 
             committed += 1
-            stats.committed += 1
-            if inst.hoisted:
-                stats.hoisted_committed += 1
+            if row[10]:  # hoisted
+                hoisted_committed += 1
 
-            # ---------------- PREDICT: front-end only ----------------
-            if op is Opcode.PREDICT:
-                stats.predicts += 1
-                branch_id = inst.branch_id if inst.branch_id is not None else pc
-                prediction = predictor.lookup(branch_id)
-                dbb.insert(prediction, branch_id)
-                if prediction.taken:
-                    target = inst.target
-                    if btb.lookup(pc) is None:
-                        fetch_cycle = (
-                            fetch_time
-                            + config.taken_redirect_bubble
-                            + config.btb_miss_bubble
-                        )
-                        stats.btb_miss_bubbles += 1
-                        btb.insert(pc, target)
+            # ------------- front-end-only kinds (PREDICT / HALT) -------
+            if kind >= K_PREDICT:
+                if kind == K_PREDICT:
+                    predicts += 1
+                    branch_id = row[6]
+                    prediction = predictor_lookup(branch_id)
+                    dbb_insert(prediction, branch_id)
+                    if prediction.taken:
+                        target = row[5]
+                        if btb_lookup(pc) is None:
+                            fetch_cycle = (
+                                fetch_time + taken_bubble + btb_bubble
+                            )
+                            btb_miss_bubbles += 1
+                            btb_insert(pc, target)
+                        else:
+                            fetch_cycle = fetch_time + taken_bubble
+                        fetch_slots = 0
+                        current_line = -1
+                        taken_redirects += 1
+                        pc = target
                     else:
-                        fetch_cycle = fetch_time + config.taken_redirect_bubble
-                    fetch_slots = 0
-                    current_line = -1
-                    stats.taken_redirects += 1
-                    pc = target
-                else:
-                    pc += 1
-                if last_cycle < fetch_time:
-                    last_cycle = fetch_time
-                continue
-
-            if op is Opcode.HALT:
-                stats.halted = True
+                        pc += 1
+                    if last_cycle < fetch_time:
+                        last_cycle = fetch_time
+                    continue
+                # HALT
+                halted = True
                 if last_cycle < fetch_time:
                     last_cycle = fetch_time
                 break
@@ -230,161 +295,176 @@ class InOrderCore:
             base = fetch_time + front_depth
             if base < prev_issue:
                 base = prev_issue
-            operand_wait_from_load = 0
+            operand_wait_from_load = False
             operand_ready = base
-            for reg in inst.srcs:
+            for reg in row[2]:
                 ready = reg_ready[reg]
                 if ready > operand_ready:
                     operand_ready = ready
                     operand_wait_from_load = reg_from_load[reg]
             if operand_wait_from_load and operand_ready > base:
-                stats.load_use_stall_cycles += operand_ready - base
+                load_use_stall_cycles += operand_ready - base
 
-            fu = inst.fu_class
+            fu = row[8]
             t = operand_ready
-            if fu is FuClass.NONE:  # NOP
+            if fu == 0:  # FU_NONE: NOP
                 issue = t
             else:
-                cap = port_cap[fu]
-                ports = port_at[fu]
-                while (
-                    issued_at.get(t, 0) >= width or ports.get(t, 0) >= cap
-                ):
-                    t += 1
-                issued_at[t] = issued_at.get(t, 0) + 1
-                ports[t] = ports.get(t, 0) + 1
+                cap = port_caps[fu]
+                pcnt = port_cnt[fu]
+                pstamp = port_stamp[fu]
+                while True:
+                    slot = t & _RING_MASK
+                    have = issued_cnt[slot] if issued_stamp[slot] == t else 0
+                    if have >= width:
+                        t += 1
+                        continue
+                    used = pcnt[slot] if pstamp[slot] == t else 0
+                    if used >= cap:
+                        t += 1
+                        continue
+                    break
+                issued_stamp[slot] = t
+                issued_cnt[slot] = have + 1
+                pstamp[slot] = t
+                pcnt[slot] = used + 1
                 issue = t
-                stats.issued += 1
+                issued += 1
             prev_issue = issue
             issue_ring.append(issue)
-            if (
-                op is Opcode.BNZ
-                or op is Opcode.BZ
-                or op is Opcode.RESOLVE_NZ
-                or op is Opcode.RESOLVE_Z
-            ):
+            if kind == K_BRANCH or kind == K_RESOLVE:
                 # Total back-end queueing delay of the resolution point:
                 # how long the branch sat past its earliest front-end
                 # arrival before it could issue (the ASPCB numerator).
                 wait = issue - (fetch_time + front_depth)
                 if wait > 0:
-                    stats.resolution_stall_cycles += wait
+                    resolution_stall_cycles += wait
 
-            # Periodically prune per-cycle tables (t only moves forward).
-            if issue - prune_mark > 50_000:
-                issued_at = {
-                    c: n for c, n in issued_at.items() if c >= prev_issue
-                }
-                for key in port_at:
-                    port_at[key] = {
-                        c: n for c, n in port_at[key].items() if c >= prev_issue
-                    }
-                prune_mark = issue
-
-            complete = issue + inst.latency
+            complete = issue + row[7]
             next_pc = pc + 1
 
             # ---------------- execute ----------------
-            if op is Opcode.LOAD:
-                address = regs[inst.srcs[0]] + (inst.imm or 0)
-                if inst.speculative and not (0 <= address < mem_limit):
-                    memory.faults_suppressed += 1
-                    value = 0
-                    complete = issue + config.hierarchy.l1_latency
+            if kind == K_BINOP:
+                b_reg = row[4]
+                value = row[12](
+                    regs[row[2][0]], row[3] if b_reg < 0 else regs[b_reg]
+                )
+                dest = row[1]
+                regs[dest] = value
+                reg_ready[dest] = complete
+                reg_from_load[dest] = False
+            elif kind == K_LOAD:
+                address = regs[row[4]] + row[3]
+                if row[9]:  # speculative: faults are suppressed
+                    value, suppressed = mem_spec_load(address)
+                    if suppressed:
+                        complete = issue + l1_latency
+                    else:
+                        complete = access_data(address << 3, issue)
+                    speculative_loads += 1
                 else:
-                    value = memory.load(address, speculative=inst.speculative)
-                    complete = hierarchy.access_data(address << 3, issue)
-                dest = inst.dest
+                    value = mem_load(address)
+                    complete = access_data(address << 3, issue)
+                dest = row[1]
                 regs[dest] = value
                 reg_ready[dest] = complete
                 reg_from_load[dest] = True
-                stats.loads += 1
-                if inst.speculative:
-                    stats.speculative_loads += 1
-            elif op is Opcode.STORE:
-                address = regs[inst.srcs[1]] + (inst.imm or 0)
-                memory.store(address, regs[inst.srcs[0]])
-                hierarchy.access_data(address << 3, issue)
-                stats.stores += 1
-                complete = issue + 1
-            elif op is Opcode.BNZ or op is Opcode.BZ:
-                stats.cond_branches += 1
-                branch_id = inst.branch_id if inst.branch_id is not None else pc
-                prediction = predictor.lookup(branch_id)
-                taken = branch_taken(op, regs[inst.srcs[0]])
-                predictor.update(prediction, taken)
-                actual_target = inst.target if taken else next_pc
+                loads += 1
+            elif kind == K_BRANCH:
+                cond_branches += 1
+                branch_id = row[6]
+                prediction = predictor_lookup(branch_id)
+                taken = (regs[row[4]] != 0) == row[12]
+                predictor_update(prediction, taken)
+                actual_target = row[5] if taken else next_pc
                 if prediction.taken != taken:
-                    stats.cond_mispredicts += 1
-                    dbb.recover_tail(dbb.tail)
+                    cond_mispredicts += 1
+                    dbb_recover_tail(dbb.tail)
                     fetch_cycle = complete + 1
                     fetch_slots = 0
                     current_line = -1
                     under_mispredict_window = True
                 elif taken:
-                    stats.taken_redirects += 1
-                    if btb.lookup(pc) is None:
+                    taken_redirects += 1
+                    if btb_lookup(pc) is None:
                         fetch_cycle = (
-                            fetch_time
-                            + config.taken_redirect_bubble
-                            + config.btb_miss_bubble
+                            fetch_time + taken_bubble + btb_bubble
                         )
-                        stats.btb_miss_bubbles += 1
-                        btb.insert(pc, inst.target)
+                        btb_miss_bubbles += 1
+                        btb_insert(pc, row[5])
                     else:
-                        fetch_cycle = fetch_time + config.taken_redirect_bubble
+                        fetch_cycle = fetch_time + taken_bubble
                     fetch_slots = 0
                     current_line = -1
                 next_pc = actual_target
-            elif op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z:
-                stats.resolves += 1
-                diverted = resolve_diverts(op, regs[inst.srcs[0]])
+            elif kind == K_STORE:
+                address = regs[row[4]] + row[3]
+                mem_store(address, regs[row[2][0]])
+                access_data(address << 3, issue)
+                stores += 1
+                complete = issue + 1
+            elif kind == K_CONST:
+                dest = row[1]
+                regs[dest] = row[3]
+                reg_ready[dest] = complete
+                reg_from_load[dest] = False
+            elif kind == K_SEL:
+                srcs = row[2]
+                value = regs[srcs[1]] if regs[srcs[0]] else regs[srcs[2]]
+                dest = row[1]
+                regs[dest] = value
+                reg_ready[dest] = complete
+                reg_from_load[dest] = False
+            elif kind == K_RESOLVE:
+                resolves += 1
+                diverted = (regs[row[4]] != 0) == row[12]
+                predicted_dir = row[11]
                 actual_taken = (
-                    (not inst.predicted_dir) if diverted else inst.predicted_dir
+                    (not predicted_dir) if diverted else predicted_dir
                 )
-                dbb.resolve(dbb.tail, actual_taken, predictor)
+                dbb_resolve(dbb.tail, actual_taken, predictor)
                 if diverted:
-                    stats.resolve_mispredicts += 1
+                    resolve_mispredicts += 1
                     fetch_cycle = complete + 1
                     fetch_slots = 0
                     current_line = -1
                     under_mispredict_window = True
-                    next_pc = inst.target
-            elif op is Opcode.JMP:
-                stats.taken_redirects += 1
-                fetch_cycle = fetch_time + config.taken_redirect_bubble
+                    next_pc = row[5]
+            elif kind == K_JMP:
+                taken_redirects += 1
+                fetch_cycle = fetch_time + taken_bubble
                 fetch_slots = 0
                 current_line = -1
-                next_pc = inst.target
-            elif op is Opcode.CALL:
-                regs[inst.dest] = pc + 1
-                reg_ready[inst.dest] = complete
-                reg_from_load[inst.dest] = False
-                ras.push(pc + 1)
-                stats.taken_redirects += 1
-                fetch_cycle = fetch_time + config.taken_redirect_bubble
+                next_pc = row[5]
+            elif kind == K_CALL:
+                dest = row[1]
+                regs[dest] = pc + 1
+                reg_ready[dest] = complete
+                reg_from_load[dest] = False
+                ras_push(pc + 1)
+                taken_redirects += 1
+                fetch_cycle = fetch_time + taken_bubble
                 fetch_slots = 0
                 current_line = -1
-                next_pc = inst.target
-            elif op is Opcode.RET:
-                actual = regs[inst.srcs[0]]
-                predicted = ras.pop()
+                next_pc = row[5]
+            elif kind == K_RET:
+                actual = regs[row[4]]
+                predicted = ras_pop()
                 if predicted != actual:
-                    stats.ras_mispredicts += 1
+                    ras_mispredicts += 1
                     fetch_cycle = complete + 1
                     under_mispredict_window = True
                 else:
-                    stats.taken_redirects += 1
-                    fetch_cycle = fetch_time + config.taken_redirect_bubble
+                    taken_redirects += 1
+                    fetch_cycle = fetch_time + taken_bubble
                 fetch_slots = 0
                 current_line = -1
                 next_pc = actual
-            elif op is Opcode.NOP:
+            elif kind == K_NOP:
                 pass
-            else:
-                # Straight-line ALU / FP / compare / move.
-                value = _evaluate(op, inst, regs)
-                dest = inst.dest
+            else:  # K_EVAL_GEN: degenerate ALU shapes
+                value = _evaluate_row(row, regs)
+                dest = row[1]
                 regs[dest] = value
                 reg_ready[dest] = complete
                 reg_from_load[dest] = False
@@ -392,10 +472,32 @@ class InOrderCore:
             if complete > last_cycle:
                 last_cycle = complete
             if trace is not None:
-                trace(pc, inst, fetch_time, issue, complete)
+                trace(pc, instructions[pc], fetch_time, issue, complete)
             pc = next_pc
 
         stats.cycles = last_cycle + 1
+        stats.fetched = fetched
+        stats.committed = committed
+        stats.hoisted_committed = hoisted_committed
+        stats.issued = issued
+        stats.loads = loads
+        stats.stores = stores
+        stats.load_use_stall_cycles = load_use_stall_cycles
+        stats.cond_branches = cond_branches
+        stats.cond_mispredicts = cond_mispredicts
+        stats.taken_redirects = taken_redirects
+        stats.btb_miss_bubbles = btb_miss_bubbles
+        stats.predicts = predicts
+        stats.resolves = resolves
+        stats.resolve_mispredicts = resolve_mispredicts
+        stats.resolution_stall_cycles = resolution_stall_cycles
+        stats.speculative_loads = speculative_loads
+        stats.ras_mispredicts = ras_mispredicts
+        stats.icache_misses = icache_misses
+        stats.icache_misses_under_mispredict = (
+            icache_misses_under_mispredict
+        )
+        stats.halted = halted
         return SimulationResult(
             stats=stats,
             registers=list(regs),
@@ -404,62 +506,22 @@ class InOrderCore:
         )
 
 
+def _evaluate_row(row, regs: List[Value]) -> Value:
+    """Evaluate a K_EVAL_GEN row (opcode carried in the fn slot)."""
+    try:
+        return evaluate_code(row[12], row[2], row[3], regs)
+    except KeyError:
+        raise SimulationError(f"unhandled opcode {row[12]}") from None
+
+
 def _evaluate(op: Opcode, inst: Instruction, regs: List[Value]) -> Value:
-    """Evaluate one ALU/FP/compare/move instruction."""
-    srcs = inst.srcs
-    a = regs[srcs[0]] if srcs else 0
-    b = inst.imm if inst.imm is not None else (
-        regs[srcs[1]] if len(srcs) > 1 else 0
-    )
-    if op is Opcode.ADD:
-        return wrap_int(a + b) if isinstance(a, int) and isinstance(b, int) else a + b
-    if op is Opcode.SUB:
-        return wrap_int(a - b) if isinstance(a, int) and isinstance(b, int) else a - b
-    if op is Opcode.MUL:
-        return wrap_int(a * b) if isinstance(a, int) and isinstance(b, int) else a * b
-    if op is Opcode.DIV:
-        if b == 0:
-            return 0
-        if isinstance(a, int) and isinstance(b, int):
-            quotient = abs(a) // abs(b)
-            if (a < 0) != (b < 0):
-                quotient = -quotient
-            return wrap_int(quotient)
-        return a / b
-    if op is Opcode.AND:
-        return wrap_int(int(a) & int(b))
-    if op is Opcode.OR:
-        return wrap_int(int(a) | int(b))
-    if op is Opcode.XOR:
-        return wrap_int(int(a) ^ int(b))
-    if op is Opcode.SHL:
-        return wrap_int(int(a) << (int(b) & 63))
-    if op is Opcode.SHR:
-        return wrap_int(int(a) >> (int(b) & 63))
-    if op is Opcode.SEL:
-        return regs[srcs[1]] if a else regs[srcs[2]]
-    if op is Opcode.MOV:
-        return a
-    if op is Opcode.LI:
-        return inst.imm if inst.imm is not None else 0
-    if op is Opcode.FADD:
-        return float(a) + float(b)
-    if op is Opcode.FSUB:
-        return float(a) - float(b)
-    if op is Opcode.FMUL:
-        return float(a) * float(b)
-    if op is Opcode.FDIV:
-        return float(a) / float(b) if b else 0.0
-    if op is Opcode.CMP_EQ:
-        return int(a == b)
-    if op is Opcode.CMP_NE:
-        return int(a != b)
-    if op is Opcode.CMP_LT:
-        return int(a < b)
-    if op is Opcode.CMP_LE:
-        return int(a <= b)
-    if op is Opcode.CMP_GT:
-        return int(a > b)
-    if op is Opcode.CMP_GE:
-        return int(a >= b)
-    raise SimulationError(f"unhandled opcode {op}")
+    """Evaluate one ALU/FP/compare/move instruction.
+
+    Kept as the generic (non-pre-decoded) evaluation entry point; the
+    dispatch itself now lives in :mod:`repro.isa.decode` so the fast
+    paths and this helper cannot drift apart.
+    """
+    try:
+        return evaluate_code(op, inst.srcs, inst.imm, regs)
+    except KeyError:
+        raise SimulationError(f"unhandled opcode {op}") from None

@@ -11,21 +11,36 @@ Two uses:
   arbitrary prediction policy for PREDICT instructions, so tests can drive
   transformed programs down always-taken, always-not-taken, random, and
   adversarial prediction streams and assert identical final memory.
+
+Like the timing cores, the interpreter loop drives off the program's
+pre-decoded rows (:mod:`repro.isa.decode`): integer-kind dispatch and
+pre-bound evaluators instead of dataclass attribute walks, sharing one
+decode pass with every timing run of the same program.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, List, Tuple, Union
 
-from ..isa import (
-    Memory,
-    Opcode,
-    Program,
-    branch_taken,
-    resolve_diverts,
+from ..isa import Memory, Program
+from ..isa.decode import (
+    K_BINOP,
+    K_BRANCH,
+    K_CALL,
+    K_CONST,
+    K_HALT,
+    K_JMP,
+    K_LOAD,
+    K_NOP,
+    K_PREDICT,
+    K_RESOLVE,
+    K_RET,
+    K_SEL,
+    K_STORE,
+    predecode,
 )
-from .core import SimulationError, _evaluate
+from .core import SimulationError, _evaluate_row
 
 Value = Union[int, float]
 
@@ -68,14 +83,18 @@ def execute(
     "mispredict", diverts into the correction code exactly as the hardware
     would.
     """
-    instructions = program.instructions
-    program_len = len(instructions)
+    decoded = predecode(program)
+    rows = decoded.rows
+    program_len = decoded.length
     regs: List[Value] = [0] * 64
     memory = Memory()
     for address, value in program.data.items():
         memory.store(address, value)
+    mem_load = memory.load
+    mem_store = memory.store
 
     trace: List[Tuple[int, bool]] = []
+    trace_append = trace.append
     executed = 0
     resolve_mispredicts = 0
     halted = False
@@ -86,60 +105,61 @@ def execute(
             raise SimulationError(
                 f"pc {pc} outside program of length {program_len}"
             )
-        inst = instructions[pc]
-        op = inst.opcode
+        row = rows[pc]
+        kind = row[0]
         executed += 1
 
-        if op is Opcode.HALT:
-            halted = True
-            break
-        if op is Opcode.PREDICT:
-            branch_id = inst.branch_id if inst.branch_id is not None else pc
-            pc = inst.target if predict_policy(branch_id) else pc + 1
-            continue
-        if op is Opcode.BNZ or op is Opcode.BZ:
-            taken = branch_taken(op, regs[inst.srcs[0]])
-            if record_branch_trace:
-                branch_id = (
-                    inst.branch_id if inst.branch_id is not None else pc
-                )
-                trace.append((branch_id, taken))
-            pc = inst.target if taken else pc + 1
-            continue
-        if op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z:
-            if resolve_diverts(op, regs[inst.srcs[0]]):
-                resolve_mispredicts += 1
-                pc = inst.target
-            else:
-                pc += 1
-            continue
-        if op is Opcode.JMP:
-            pc = inst.target
-            continue
-        if op is Opcode.CALL:
-            regs[inst.dest] = pc + 1
-            pc = inst.target
-            continue
-        if op is Opcode.RET:
-            pc = regs[inst.srcs[0]]
-            continue
-        if op is Opcode.LOAD:
-            address = regs[inst.srcs[0]] + (inst.imm or 0)
-            regs[inst.dest] = memory.load(
-                address, speculative=inst.speculative
+        if kind == K_BINOP:
+            b_reg = row[4]
+            regs[row[1]] = row[12](
+                regs[row[2][0]], row[3] if b_reg < 0 else regs[b_reg]
             )
             pc += 1
-            continue
-        if op is Opcode.STORE:
-            address = regs[inst.srcs[1]] + (inst.imm or 0)
-            memory.store(address, regs[inst.srcs[0]])
+        elif kind == K_BRANCH:
+            taken = (regs[row[4]] != 0) == row[12]
+            if record_branch_trace:
+                trace_append((row[6], taken))
+            pc = row[5] if taken else pc + 1
+        elif kind == K_LOAD:
+            regs[row[1]] = mem_load(
+                regs[row[4]] + row[3], speculative=row[9]
+            )
             pc += 1
-            continue
-        if op is Opcode.NOP:
+        elif kind == K_STORE:
+            mem_store(regs[row[4]] + row[3], regs[row[2][0]])
             pc += 1
-            continue
-        regs[inst.dest] = _evaluate(op, inst, regs)
-        pc += 1
+        elif kind == K_CONST:
+            regs[row[1]] = row[3]
+            pc += 1
+        elif kind == K_SEL:
+            srcs = row[2]
+            regs[row[1]] = (
+                regs[srcs[1]] if regs[srcs[0]] else regs[srcs[2]]
+            )
+            pc += 1
+        elif kind == K_PREDICT:
+            pc = row[5] if predict_policy(row[6]) else pc + 1
+        elif kind == K_RESOLVE:
+            if (regs[row[4]] != 0) == row[12]:
+                resolve_mispredicts += 1
+                pc = row[5]
+            else:
+                pc += 1
+        elif kind == K_JMP:
+            pc = row[5]
+        elif kind == K_CALL:
+            regs[row[1]] = pc + 1
+            pc = row[5]
+        elif kind == K_RET:
+            pc = regs[row[4]]
+        elif kind == K_NOP:
+            pc += 1
+        elif kind == K_HALT:
+            halted = True
+            break
+        else:  # K_EVAL_GEN
+            regs[row[1]] = _evaluate_row(row, regs)
+            pc += 1
 
     return FunctionalResult(
         registers=regs,

@@ -14,29 +14,49 @@ ahead.  Branches still predict at fetch and squash-and-redirect at
 execute.  This is deliberately idealised (perfect renaming, no issue-queue
 capacity separate from the window): it over-approximates a real OOO, which
 only *strengthens* the motivation result.
+
+The run loop shares the in-order core's fast-path machinery: pre-decoded
+rows (:mod:`repro.isa.decode`), integer-kind dispatch, local stats
+counters, and stamped occupancy rings instead of unbounded per-cycle
+dicts.  OOO issue is not monotone, so the rings are sized well past the
+completion run-ahead the 64-entry window permits.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 from ..core.dbb import DecomposedBranchBuffer
-from ..isa import (
-    FuClass,
-    Memory,
-    Opcode,
-    Program,
-    branch_taken,
-    resolve_diverts,
+from ..isa import Memory, Program
+from ..isa.decode import (
+    K_BINOP,
+    K_BRANCH,
+    K_CALL,
+    K_CONST,
+    K_JMP,
+    K_LOAD,
+    K_NOP,
+    K_PREDICT,
+    K_RESOLVE,
+    K_RET,
+    K_SEL,
+    K_STORE,
+    predecode,
 )
 from .config import MachineConfig
-from .core import SimulationError, SimulationResult, _evaluate
+from .core import SimulationError, SimulationResult, _evaluate_row
 from .stats import SimStats
 
 Value = Union[int, float]
 
 _LINE_SHIFT = 6
+
+#: Occupancy-ring size.  OOO issue cycles are not monotone, so stale ring
+#: slots are only provably dead when the completion-gated window keeps the
+#: live issue-cycle span far below the ring size; 64 in-flight
+#: instructions cannot spread issue over anything near 2^16 cycles.
+_RING = 65536
+_RING_MASK = _RING - 1
 
 
 class OutOfOrderCore:
@@ -60,8 +80,10 @@ class OutOfOrderCore:
 
         config = self.config
         stats = SimStats()
-        instructions = program.instructions
-        program_len = len(instructions)
+        decoded = predecode(program)
+        rows = decoded.rows
+        program_len = decoded.length
+        window = self.window
 
         regs: List[Value] = [0] * 64
         reg_ready = [0] * 64
@@ -75,19 +97,29 @@ class OutOfOrderCore:
         ras = ReturnAddressStack(config.ras_entries)
         dbb = DecomposedBranchBuffer(config.dbb_entries)
 
+        access_inst = hierarchy.access_inst
+        access_data = hierarchy.access_data
+        predictor_lookup = predictor.lookup
+        predictor_update = predictor.update
+        btb_lookup = btb.lookup
+        btb_insert = btb.insert
+        dbb_insert = dbb.insert
+        dbb_resolve = dbb.resolve
+        ras_push = ras.push
+        ras_pop = ras.pop
+        mem_load = memory.load
+        mem_store = memory.store
+        mem_spec_load = memory.load_speculative
+
         width = config.width
         front_depth = config.front_end_stages
-        port_cap = {
-            FuClass.INT: config.int_ports,
-            FuClass.MEM: config.mem_ports,
-            FuClass.FP: config.fp_ports,
-        }
-        port_at: Dict[FuClass, Dict[int, int]] = {
-            FuClass.INT: {},
-            FuClass.MEM: {},
-            FuClass.FP: {},
-        }
-        issued_at: Dict[int, int] = {}
+        l1_latency = config.hierarchy.l1_latency
+        port_caps = (0, config.int_ports, config.mem_ports, config.fp_ports)
+
+        issued_cnt = [0] * _RING
+        issued_stamp = [-1] * _RING
+        port_cnt = (None, [0] * _RING, [0] * _RING, [0] * _RING)
+        port_stamp = (None, [-1] * _RING, [-1] * _RING, [-1] * _RING)
 
         fetch_cycle = 0
         fetch_slots = 0
@@ -97,197 +129,254 @@ class OutOfOrderCore:
         # the window stalls until the instruction `window` back completes
         # (a commit-bound ROB approximation).
         inflight: List[int] = []
-        prune_floor = 0
+        inflight_append = inflight.append
+
+        fetched = 0
+        committed = 0
+        hoisted_committed = 0
+        issued = 0
+        loads = 0
+        stores = 0
+        cond_branches = 0
+        cond_mispredicts = 0
+        taken_redirects = 0
+        predicts = 0
+        resolves = 0
+        resolve_mispredicts = 0
+        resolution_stall_cycles = 0
+        speculative_loads = 0
+        ras_mispredicts = 0
+        icache_misses = 0
+        halted = False
 
         pc = 0
-        committed = 0
-        mem_limit = memory.limit
 
         while committed < max_instructions:
             if pc < 0 or pc >= program_len:
                 raise SimulationError(
                     f"pc {pc} outside program of length {program_len}"
                 )
-            inst = instructions[pc]
-            op = inst.opcode
+            row = rows[pc]
+            kind = row[0]
 
             # ---- fetch (same model as the in-order core) ----
             byte_pc = pc << 2
             line = byte_pc >> _LINE_SHIFT
             if line != current_line:
-                ready = hierarchy.access_inst(byte_pc, fetch_cycle)
+                ready = access_inst(byte_pc, fetch_cycle)
                 if ready > fetch_cycle:
-                    stats.icache_misses += 1
+                    icache_misses += 1
                     fetch_cycle = ready
                     fetch_slots = 0
                 current_line = line
             if fetch_slots >= width:
                 fetch_cycle += 1
                 fetch_slots = 0
-            if len(inflight) >= self.window:
-                gate = inflight[len(inflight) - self.window]
+            inflight_len = len(inflight)
+            if inflight_len >= window:
+                gate = inflight[inflight_len - window]
                 if gate > fetch_cycle:
                     fetch_cycle = gate
                     fetch_slots = 0
             fetch_time = fetch_cycle
             fetch_slots += 1
-            stats.fetched += 1
+            fetched += 1
             committed += 1
-            stats.committed += 1
-            if inst.hoisted:
-                stats.hoisted_committed += 1
+            if row[10]:  # hoisted
+                hoisted_committed += 1
 
-            if op is Opcode.PREDICT:
-                stats.predicts += 1
-                branch_id = inst.branch_id if inst.branch_id is not None else pc
-                prediction = predictor.lookup(branch_id)
-                dbb.insert(prediction, branch_id)
-                if prediction.taken:
-                    if btb.lookup(pc) is None:
-                        btb.insert(pc, inst.target)
-                        fetch_cycle = fetch_time + 2
+            if kind >= K_PREDICT:
+                if kind == K_PREDICT:
+                    predicts += 1
+                    branch_id = row[6]
+                    prediction = predictor_lookup(branch_id)
+                    dbb_insert(prediction, branch_id)
+                    if prediction.taken:
+                        if btb_lookup(pc) is None:
+                            btb_insert(pc, row[5])
+                            fetch_cycle = fetch_time + 2
+                        else:
+                            fetch_cycle = fetch_time + 1
+                        fetch_slots = 0
+                        current_line = -1
+                        pc = row[5]
                     else:
-                        fetch_cycle = fetch_time + 1
-                    fetch_slots = 0
-                    current_line = -1
-                    pc = inst.target
-                else:
-                    pc += 1
-                continue
-
-            if op is Opcode.HALT:
-                stats.halted = True
+                        pc += 1
+                    continue
+                # HALT
+                halted = True
                 break
 
             # ---- dataflow issue: operands + a free port, no ordering ----
             base = fetch_time + front_depth
             operand_ready = base
-            for reg in inst.srcs:
+            for reg in row[2]:
                 if reg_ready[reg] > operand_ready:
                     operand_ready = reg_ready[reg]
 
-            fu = inst.fu_class
+            fu = row[8]
             t = operand_ready
-            if fu is not FuClass.NONE:
-                cap = port_cap[fu]
-                ports = port_at[fu]
-                while issued_at.get(t, 0) >= width or ports.get(t, 0) >= cap:
-                    t += 1
-                issued_at[t] = issued_at.get(t, 0) + 1
-                ports[t] = ports.get(t, 0) + 1
-                stats.issued += 1
+            if fu:
+                cap = port_caps[fu]
+                pcnt = port_cnt[fu]
+                pstamp = port_stamp[fu]
+                while True:
+                    slot = t & _RING_MASK
+                    have = issued_cnt[slot] if issued_stamp[slot] == t else 0
+                    if have >= width:
+                        t += 1
+                        continue
+                    used = pcnt[slot] if pstamp[slot] == t else 0
+                    if used >= cap:
+                        t += 1
+                        continue
+                    break
+                issued_stamp[slot] = t
+                issued_cnt[slot] = have + 1
+                pstamp[slot] = t
+                pcnt[slot] = used + 1
+                issued += 1
             issue = t
-            if (
-                op is Opcode.BNZ or op is Opcode.BZ
-                or op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z
-            ):
+            if kind == K_BRANCH or kind == K_RESOLVE:
                 wait = issue - base
                 if wait > 0:
-                    stats.resolution_stall_cycles += wait
+                    resolution_stall_cycles += wait
 
-            if issue - prune_floor > 50_000:
-                floor = min(issue, fetch_cycle)
-                issued_at = {c: n for c, n in issued_at.items() if c >= floor}
-                for key in port_at:
-                    port_at[key] = {
-                        c: n for c, n in port_at[key].items() if c >= floor
-                    }
-                prune_floor = issue
-
-            complete = issue + inst.latency
+            complete = issue + row[7]
             next_pc = pc + 1
 
             # ---- execute (architecturally identical to the in-order) ----
-            if op is Opcode.LOAD:
-                address = regs[inst.srcs[0]] + (inst.imm or 0)
-                if inst.speculative and not (0 <= address < mem_limit):
-                    memory.faults_suppressed += 1
-                    value = 0
-                    complete = issue + config.hierarchy.l1_latency
+            if kind == K_BINOP:
+                b_reg = row[4]
+                value = row[12](
+                    regs[row[2][0]], row[3] if b_reg < 0 else regs[b_reg]
+                )
+                dest = row[1]
+                regs[dest] = value
+                reg_ready[dest] = complete
+            elif kind == K_LOAD:
+                address = regs[row[4]] + row[3]
+                if row[9]:  # speculative
+                    value, suppressed = mem_spec_load(address)
+                    if suppressed:
+                        complete = issue + l1_latency
+                    else:
+                        complete = access_data(address << 3, issue)
+                    speculative_loads += 1
                 else:
-                    value = memory.load(address, speculative=inst.speculative)
-                    complete = hierarchy.access_data(address << 3, issue)
-                regs[inst.dest] = value
-                reg_ready[inst.dest] = complete
-                stats.loads += 1
-                if inst.speculative:
-                    stats.speculative_loads += 1
-            elif op is Opcode.STORE:
-                address = regs[inst.srcs[1]] + (inst.imm or 0)
-                memory.store(address, regs[inst.srcs[0]])
-                hierarchy.access_data(address << 3, issue)
-                stats.stores += 1
-                complete = issue + 1
-            elif op is Opcode.BNZ or op is Opcode.BZ:
-                stats.cond_branches += 1
-                branch_id = inst.branch_id if inst.branch_id is not None else pc
-                prediction = predictor.lookup(branch_id)
-                taken = branch_taken(op, regs[inst.srcs[0]])
-                predictor.update(prediction, taken)
+                    value = mem_load(address)
+                    complete = access_data(address << 3, issue)
+                dest = row[1]
+                regs[dest] = value
+                reg_ready[dest] = complete
+                loads += 1
+            elif kind == K_BRANCH:
+                cond_branches += 1
+                branch_id = row[6]
+                prediction = predictor_lookup(branch_id)
+                taken = (regs[row[4]] != 0) == row[12]
+                predictor_update(prediction, taken)
                 if prediction.taken != taken:
-                    stats.cond_mispredicts += 1
+                    cond_mispredicts += 1
                     fetch_cycle = complete + 1
                     fetch_slots = 0
                     current_line = -1
                 elif taken:
-                    stats.taken_redirects += 1
+                    taken_redirects += 1
                     fetch_cycle = fetch_time + 1
                     fetch_slots = 0
                     current_line = -1
-                next_pc = inst.target if taken else next_pc
-            elif op is Opcode.RESOLVE_NZ or op is Opcode.RESOLVE_Z:
-                stats.resolves += 1
-                diverted = resolve_diverts(op, regs[inst.srcs[0]])
+                next_pc = row[5] if taken else next_pc
+            elif kind == K_STORE:
+                address = regs[row[4]] + row[3]
+                mem_store(address, regs[row[2][0]])
+                access_data(address << 3, issue)
+                stores += 1
+                complete = issue + 1
+            elif kind == K_CONST:
+                dest = row[1]
+                regs[dest] = row[3]
+                reg_ready[dest] = complete
+            elif kind == K_SEL:
+                srcs = row[2]
+                value = regs[srcs[1]] if regs[srcs[0]] else regs[srcs[2]]
+                dest = row[1]
+                regs[dest] = value
+                reg_ready[dest] = complete
+            elif kind == K_RESOLVE:
+                resolves += 1
+                diverted = (regs[row[4]] != 0) == row[12]
+                predicted_dir = row[11]
                 actual = (
-                    (not inst.predicted_dir) if diverted else inst.predicted_dir
+                    (not predicted_dir) if diverted else predicted_dir
                 )
-                dbb.resolve(dbb.tail, actual, predictor)
+                dbb_resolve(dbb.tail, actual, predictor)
                 if diverted:
-                    stats.resolve_mispredicts += 1
+                    resolve_mispredicts += 1
                     fetch_cycle = complete + 1
                     fetch_slots = 0
                     current_line = -1
-                    next_pc = inst.target
-            elif op is Opcode.JMP:
-                stats.taken_redirects += 1
+                    next_pc = row[5]
+            elif kind == K_JMP:
+                taken_redirects += 1
                 fetch_cycle = fetch_time + 1
                 fetch_slots = 0
                 current_line = -1
-                next_pc = inst.target
-            elif op is Opcode.CALL:
-                regs[inst.dest] = pc + 1
-                reg_ready[inst.dest] = complete
-                ras.push(pc + 1)
+                next_pc = row[5]
+            elif kind == K_CALL:
+                dest = row[1]
+                regs[dest] = pc + 1
+                reg_ready[dest] = complete
+                ras_push(pc + 1)
                 fetch_cycle = fetch_time + 1
                 fetch_slots = 0
                 current_line = -1
-                next_pc = inst.target
-            elif op is Opcode.RET:
-                actual = regs[inst.srcs[0]]
-                predicted = ras.pop()
+                next_pc = row[5]
+            elif kind == K_RET:
+                actual = regs[row[4]]
+                predicted = ras_pop()
                 if predicted != actual:
-                    stats.ras_mispredicts += 1
+                    ras_mispredicts += 1
                     fetch_cycle = complete + 1
                 else:
                     fetch_cycle = fetch_time + 1
                 fetch_slots = 0
                 current_line = -1
                 next_pc = actual
-            elif op is Opcode.NOP:
+            elif kind == K_NOP:
                 pass
-            else:
-                value = _evaluate(op, inst, regs)
-                regs[inst.dest] = value
-                reg_ready[inst.dest] = complete
+            else:  # K_EVAL_GEN
+                value = _evaluate_row(row, regs)
+                dest = row[1]
+                regs[dest] = value
+                reg_ready[dest] = complete
 
-            inflight.append(complete)
-            if len(inflight) > 4 * self.window:
-                inflight = inflight[-self.window :]
+            inflight_append(complete)
+            if len(inflight) > 4 * window:
+                inflight = inflight[-window:]
+                inflight_append = inflight.append
             if complete > last_cycle:
                 last_cycle = complete
             pc = next_pc
 
         stats.cycles = last_cycle + 1
+        stats.fetched = fetched
+        stats.committed = committed
+        stats.hoisted_committed = hoisted_committed
+        stats.issued = issued
+        stats.loads = loads
+        stats.stores = stores
+        stats.cond_branches = cond_branches
+        stats.cond_mispredicts = cond_mispredicts
+        stats.taken_redirects = taken_redirects
+        stats.predicts = predicts
+        stats.resolves = resolves
+        stats.resolve_mispredicts = resolve_mispredicts
+        stats.resolution_stall_cycles = resolution_stall_cycles
+        stats.speculative_loads = speculative_loads
+        stats.ras_mispredicts = ras_mispredicts
+        stats.icache_misses = icache_misses
+        stats.halted = halted
         return SimulationResult(
             stats=stats,
             registers=list(regs),

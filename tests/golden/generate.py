@@ -1,0 +1,117 @@
+"""Regenerate the simulator golden fingerprints.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+The goldens pin the *architectural and stats output* of the timing
+simulator: for every SPEC-like workload, at widths 2/4/8, for both the
+baseline and the decomposed program, we fingerprint the full
+``SimStats``, the final register file, and the memory snapshot.  Any
+performance work on the simulator (pre-decode, dispatch tables,
+incremental predictor folding...) must keep every fingerprint
+bit-identical -- regenerating this file is only legitimate for a change
+that *intends* to alter simulated behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parent / "sim_goldens.json"
+
+#: Keep the golden runs small enough for tier-1 while still executing
+#: thousands of dynamic instructions per workload.
+ITERATIONS = 40
+MAX_INSTRUCTIONS = 200_000
+WIDTHS = (2, 4, 8)
+REF_SEED = 1
+TRAIN_SEED = 0
+
+
+def workload_names():
+    from repro.workloads import BENCHMARKS
+
+    return sorted(BENCHMARKS)
+
+
+def fingerprint_run(result) -> str:
+    """Stable digest of SimStats + registers + memory snapshot."""
+    import dataclasses
+    import hashlib
+
+    blob = json.dumps(
+        {
+            "stats": dataclasses.asdict(result.stats),
+            "registers": [repr(v) for v in result.registers],
+            "memory": [
+                (a, repr(v)) for a, v in result.memory.snapshot()
+            ],
+            "faults_suppressed": result.memory.faults_suppressed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def golden_runs(name: str):
+    """Yield ((name, kind, width), fingerprint) for one workload."""
+    from repro.compiler import (
+        compile_baseline,
+        compile_decomposed,
+        profile_program,
+    )
+    from repro.ir import lower
+    from repro.uarch import InOrderCore, MachineConfig
+    from repro.workloads import spec_benchmark
+
+    spec = spec_benchmark(name, iterations=ITERATIONS)
+    profile = profile_program(
+        lower(spec.build(seed=TRAIN_SEED)),
+        max_instructions=MAX_INSTRUCTIONS,
+    )
+    ref = spec.build(seed=REF_SEED)
+    programs = {
+        "baseline": compile_baseline(ref, profile=profile).program,
+        "decomposed": compile_decomposed(ref, profile=profile).program,
+    }
+    for kind, program in programs.items():
+        for width in WIDTHS:
+            core = InOrderCore(MachineConfig.paper_default(width=width))
+            result = core.run(
+                program, max_instructions=MAX_INSTRUCTIONS
+            )
+            yield (name, kind, width), fingerprint_run(result)
+
+
+def generate() -> dict:
+    goldens = {}
+    for name in workload_names():
+        for (bench, kind, width), digest in golden_runs(name):
+            goldens[f"{bench}/{kind}/w{width}"] = digest
+    return goldens
+
+
+def main() -> int:
+    goldens = {
+        "config": {
+            "iterations": ITERATIONS,
+            "max_instructions": MAX_INSTRUCTIONS,
+            "widths": list(WIDTHS),
+            "ref_seed": REF_SEED,
+            "train_seed": TRAIN_SEED,
+        },
+        "fingerprints": generate(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=1) + "\n")
+    print(
+        f"wrote {len(goldens['fingerprints'])} fingerprints "
+        f"to {GOLDEN_PATH}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,6 +132,38 @@ class TestObservability:
             assert record["cache"] in ("hit", "miss")
             assert "h264ref" in record["label"]
 
+    def test_manifest_reports_simulated_kips(self, tmp_path):
+        config = RunConfig.quick()
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path, use_cache=True)
+        engine.run_benchmark("h264ref", config)
+        path = tmp_path / "run_manifest.json"
+        engine.write_manifest(path, config=config)
+        manifest = json.loads(path.read_text())
+        assert manifest["totals"]["committed_instructions"] > 0
+        assert manifest["totals"]["sim_kips"] > 0
+        for record in manifest["jobs"]:
+            assert record["committed_instructions"] > 0
+            assert record["sim_kips"] > 0
+
+    def test_profile_env_writes_summaries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+        engine.run_benchmark("h264ref", RunConfig.quick())
+        assert len(engine.profiles) == 1
+        label, text = engine.profiles[0]
+        assert "h264ref" in label
+        assert "cumulative" in text
+
+        engine.write_manifest(tmp_path / "run_manifest.json")
+        profile_path = tmp_path / "run_manifest.profile.txt"
+        assert "cumulative" in profile_path.read_text()
+
+    def test_profile_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+        engine.run_benchmark("h264ref", RunConfig.quick())
+        assert engine.profiles == []
+
 
 class TestQuickConfig:
     def test_quick_scales_every_budget(self):
