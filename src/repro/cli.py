@@ -19,9 +19,19 @@ for time, ``--jobs N`` to fan simulation jobs over worker processes
 (default: ``REPRO_JOBS`` or every core), ``--no-cache`` to bypass the
 ``results/.cache/`` result cache, and ``--profile`` (or ``REPRO_PROFILE=1``)
 to wrap every engine job in cProfile.  Engine-backed commands write a
-machine-readable ``results/run_manifest.json`` (config, per-job timings and
-simulated KIPS, cache hit/miss counts) next to the regenerated table;
-profiled runs additionally write ``results/run_manifest.profile.txt``.
+machine-readable ``results/run_manifest.json`` (config, per-job timings,
+status/attempts/error, simulated KIPS, cache hit/miss counts) next to the
+regenerated table; profiled runs additionally write
+``results/run_manifest.profile.txt``.
+
+Robustness (see EXPERIMENTS.md "Robustness"): a failed/hung job is
+isolated and reported instead of aborting the sweep; ``--job-timeout S``
+(or ``REPRO_JOB_TIMEOUT``) bounds each job, ``--retries N`` (or
+``REPRO_RETRIES``, default 2) retries infrastructure faults, every
+completed job is checkpointed to ``results/.cache/runs/<run-id>.jsonl``,
+and ``--resume RUN_ID`` re-runs only the jobs an interrupted or
+partially-failed run didn't finish.  The exit status is 0 only when
+every job succeeded (1 with failures, 130 on interrupt).
 """
 
 from __future__ import annotations
@@ -57,11 +67,18 @@ def _engine(args) -> ExperimentEngine:
             # profiled run must actually execute every job.
             os.environ["REPRO_PROFILE"] = "1"
             args.no_cache = True
+        resume = getattr(args, "resume", None)
         args.engine = ExperimentEngine(
             jobs=args.jobs,
             use_cache=False if args.no_cache else None,
             progress=_progress if sys.stderr.isatty() else None,
+            run_id=resume or ExperimentEngine.new_run_id(),
+            resume=resume is not None,
+            job_timeout=getattr(args, "job_timeout", None),
+            retries=getattr(args, "retries", None),
         )
+        # So an interrupted map() can still leave a partial manifest.
+        args.engine.manifest_path = RESULTS_DIR / "run_manifest.json"
     return args.engine
 
 
@@ -71,14 +88,32 @@ def _finish(args, config: Optional[RunConfig] = None) -> None:
     if engine is None or not engine.records:
         return
     engine.write_manifest(RESULTS_DIR / "run_manifest.json", config=config)
+    counts = engine.status_counts()
+    health = ""
+    if counts["failed"] or counts["timeout"] or counts["skipped"]:
+        health = (
+            f", {counts['failed']} failed, {counts['timeout']} timed out, "
+            f"{counts['skipped']} skipped"
+        )
     sys.stderr.write(
         f"{len(engine.records)} jobs "
-        f"({engine.cache_hits} cache hits, {engine.cache_misses} misses), "
+        f"({engine.cache_hits} cache hits, {engine.cache_misses} misses"
+        f"{health}), "
         f"{engine.total_wall_s:.1f}s job time, "
         f"{engine.total_simulated_cycles} cycles simulated "
         f"({engine.total_sim_kips:.0f} KIPS); "
         f"manifest: {RESULTS_DIR / 'run_manifest.json'}\n"
     )
+    if engine.failures:
+        for record in engine.failures:
+            error = record.get("error") or {}
+            sys.stderr.write(
+                f"  {record['status'].upper()} {record['label']}: "
+                f"{error.get('type', '?')}: {error.get('message', '')}\n"
+            )
+        sys.stderr.write(
+            f"re-run unfinished jobs with: --resume {engine.run_id}\n"
+        )
     if engine.profiles:
         sys.stderr.write(
             f"profiles: {RESULTS_DIR / 'run_manifest.profile.txt'}\n"
@@ -161,6 +196,12 @@ def _cmd_motivation(args) -> None:
 def _cmd_bench(args) -> None:
     config = _config(args)
     outcome = run_benchmark(args.name, config, engine=_engine(args))
+    if not outcome.ok:
+        print(
+            f"{outcome.name}: {outcome.status.upper()} ({outcome.error})"
+        )
+        _finish(args, config)
+        return
     metrics = outcome.metrics
     print(
         f"{outcome.name}: {metrics.spd:.1f}% speedup "
@@ -208,6 +249,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the results/.cache/ result cache",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock budget in seconds, enforced by a "
+        "watchdog when jobs > 1 (default: REPRO_JOB_TIMEOUT or off)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries for infrastructure faults -- dead worker "
+        "processes and timeouts (default: REPRO_RETRIES or 2); "
+        "deterministic worker exceptions are never retried",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="replay the run journal of an earlier (interrupted or "
+        "partially failed) run and re-run only its unfinished jobs",
     )
     parser.add_argument(
         "--profile",
@@ -261,7 +326,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except KeyboardInterrupt:
+        engine = args.engine
+        if engine is not None and engine.records:
+            sys.stderr.write(
+                f"\ninterrupted; completed jobs are checkpointed -- "
+                f"continue with: --resume {engine.run_id}\n"
+            )
+        return 130
+    engine = args.engine
+    if engine is not None and engine.failures:
+        return 1
     return 0
 
 

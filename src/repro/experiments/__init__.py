@@ -1,6 +1,10 @@
 """Experiment runners: one per table/figure of the paper's evaluation.
 
-* :mod:`.engine`        -- parallel execution engine + result cache.
+* :mod:`.engine`        -- parallel execution engine + result cache,
+  job supervision (fault isolation, retries, timeouts), and the
+  checkpoint/resume run journal.
+* :mod:`.faults`        -- deterministic fault-injection harness
+  (``REPRO_FAULT_INJECT``) for exercising the supervision layer.
 * :mod:`.table2`        -- Table 2 (per-benchmark metrics, 4-wide).
 * :mod:`.speedups`      -- Figures 8-13 (suite speedup charts, 2/4/8-wide).
 * :mod:`.pred_vs_bias`  -- Figures 2-3 (predictability vs bias curves).

@@ -142,15 +142,19 @@ def hoist_depth_sweep(
     depths: Tuple[int, ...] = (0, 2, 4, 8, 12),
     config: Optional[RunConfig] = None,
     engine: Optional[ExperimentEngine] = None,
-) -> List[Tuple[int, float]]:
-    """(hoist budget, % speedup) pairs for one benchmark."""
+) -> List[Tuple[int, Optional[float]]]:
+    """(hoist budget, % speedup) pairs for one benchmark; a failed
+    engine job yields ``None`` for its point (rendered as FAILED)."""
     config = config or RunConfig()
     results = get_engine(engine).map(
         _hoist_job,
         [(name, depth, config) for depth in depths],
         labels=[f"ablation:hoist:{name}:{d}" for d in depths],
     )
-    return [(d, r["speedup"]) for d, r in zip(depths, results)]
+    return [
+        (d, r["speedup"] if r is not None else None)
+        for d, r in zip(depths, results)
+    ]
 
 
 def selection_threshold_sweep(
@@ -158,7 +162,7 @@ def selection_threshold_sweep(
     thresholds: Tuple[float, ...] = (0.01, 0.03, 0.05, 0.10, 0.20),
     config: Optional[RunConfig] = None,
     engine: Optional[ExperimentEngine] = None,
-) -> List[Tuple[float, int, float]]:
+) -> List[Tuple[float, Optional[int], Optional[float]]]:
     """(threshold, conversions, % speedup) around the paper's 5% rule."""
     config = config or RunConfig()
     results = get_engine(engine).map(
@@ -167,7 +171,11 @@ def selection_threshold_sweep(
         labels=[f"ablation:threshold:{name}:{t}" for t in thresholds],
     )
     return [
-        (t, r["converted"], r["speedup"])
+        (
+            t,
+            r["converted"] if r is not None else None,
+            r["speedup"] if r is not None else None,
+        )
         for t, r in zip(thresholds, results)
     ]
 
@@ -176,7 +184,7 @@ def push_down_ablation(
     name: str = "omnetpp",
     config: Optional[RunConfig] = None,
     engine: Optional[ExperimentEngine] = None,
-) -> Dict[str, float]:
+) -> Dict[str, Optional[float]]:
     """Speedup with and without the resolution-slice push-down."""
     config = config or RunConfig()
     variants = (("with-push-down", True), ("without", False))
@@ -186,7 +194,7 @@ def push_down_ablation(
         labels=[f"ablation:pushdown:{name}:{label}" for label, _ in variants],
     )
     return {
-        label: r["speedup"]
+        label: r["speedup"] if r is not None else None
         for (label, _), r in zip(variants, results)
     }
 
@@ -196,7 +204,7 @@ def dbb_occupancy(
     sizes: Tuple[int, ...] = (4, 8, 16, 32),
     config: Optional[RunConfig] = None,
     engine: Optional[ExperimentEngine] = None,
-) -> List[Tuple[int, int]]:
+) -> List[Tuple[int, Optional[int]]]:
     """(DBB size, max outstanding decomposed branches observed).
 
     Confirms the paper's empirical claim that 16 entries are more than
@@ -210,7 +218,8 @@ def dbb_occupancy(
         labels=[f"ablation:dbb:{name}:{s}" for s in sizes],
     )
     return [
-        (size, r["max_outstanding"]) for size, r in zip(sizes, results)
+        (size, r["max_outstanding"] if r is not None else None)
+        for size, r in zip(sizes, results)
     ]
 
 
@@ -220,15 +229,20 @@ def render_all(
 ) -> str:
     config = config or RunConfig()
     engine = get_engine(engine)
+    def cell(value, fmt="{:.2f}"):
+        # Engine-supervised job failures surface as None sweep points;
+        # mark the cell instead of crashing the whole report.
+        return fmt.format(value) if value is not None else "FAILED"
+
     blocks = []
     rows = [
-        [str(d), f"{s:.2f}"]
+        [str(d), cell(s)]
         for d, s in hoist_depth_sweep(config=config, engine=engine)
     ]
     blocks.append(render_table(["hoist budget", "speedup%"], rows,
                                title="Ablation: hoist depth (omnetpp)"))
     rows = [
-        [f"{t:.2f}", str(c), f"{s:.2f}"]
+        [f"{t:.2f}", cell(c, "{}"), cell(s)]
         for t, c, s in selection_threshold_sweep(
             config=config, engine=engine
         )
@@ -241,11 +255,11 @@ def render_all(
         )
     )
     push = push_down_ablation(config=config, engine=engine)
-    rows = [[k, f"{v:.2f}"] for k, v in push.items()]
+    rows = [[k, cell(v)] for k, v in push.items()]
     blocks.append(render_table(["variant", "speedup%"], rows,
                                title="Ablation: resolution-slice push-down"))
     rows = [
-        [str(n), str(m)]
+        [str(n), cell(m, "{}")]
         for n, m in dbb_occupancy(config=config, engine=engine)
     ]
     blocks.append(render_table(["DBB entries", "max outstanding"], rows,

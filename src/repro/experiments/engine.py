@@ -1,4 +1,4 @@
-"""Parallel experiment-execution engine with a content-addressed cache.
+"""Parallel experiment-execution engine: supervision, cache, checkpoints.
 
 Every paper figure is a bag of *independent* simulation jobs (one
 benchmark, one REF seed, every width -- see :func:`.harness.run_seed`).
@@ -15,15 +15,37 @@ re-running a figure after touching only a report renderer is instant.
   ``RunConfig``/``MachineConfig``/``SelectionConfig``/``TransformConfig``
   field), the source hash of the whole ``repro`` package, and a schema
   version -- touching any simulator/compiler source invalidates the
-  whole cache; touching a renderer invalidates nothing.
+  whole cache; touching a renderer invalidates nothing.  Entries that
+  fail validation on read (wrong schema, truncated JSON, missing
+  ``result``) count as misses and are moved to
+  ``results/.cache/quarantine/`` for inspection.
+* **Supervision**: a worker that raises records a structured failure
+  (status ``failed`` + traceback) instead of aborting the run; a worker
+  process that dies (``BrokenProcessPool``, e.g. an OOM kill) is an
+  infrastructure fault and is retried with exponential backoff + jitter
+  (``REPRO_RETRIES``, default 2); a job that exceeds the per-job
+  timeout (``REPRO_JOB_TIMEOUT`` / ``--job-timeout``) is detected by a
+  watchdog that kills and respawns the pool, resubmitting innocent
+  in-flight jobs at no attempt cost.  Deterministic worker exceptions
+  are never retried -- they would fail identically again.
+* **Checkpoint/resume**: when the engine has a ``run_id``, every
+  finished job (success or final failure) is appended to a run journal
+  (``results/.cache/runs/<run-id>.jsonl``) the moment it completes;
+  constructing the engine with ``resume=True`` replays the journal's
+  successes so only unfinished/failed jobs re-run.
 * Observability: per-job wall time and simulated-cycle counters, a
   ``progress(done, total, label)`` callback, and a machine-readable
   manifest (:meth:`ExperimentEngine.write_manifest`) recording config,
-  timings, and cache hit/miss counts next to each regenerated table.
+  timings, per-job status/attempts/error, and cache hit/miss counts.
+* Fault injection: see :mod:`.faults` (``REPRO_FAULT_INJECT``) for the
+  deterministic harness that exercises all of the above in tests.
 
 Environment knobs: ``REPRO_JOBS`` (worker count), ``REPRO_CACHE=0``
 (disable the cache), ``REPRO_CACHE_DIR`` (relocate it from the default
-``results/.cache/``).
+``results/.cache/``), ``REPRO_RETRIES`` (infrastructure-fault retries,
+default 2), ``REPRO_JOB_TIMEOUT`` (per-job seconds, 0 = off),
+``REPRO_RETRY_BACKOFF`` (base backoff seconds, default 0.5),
+``REPRO_FAULT_INJECT`` (fault plan).
 """
 
 from __future__ import annotations
@@ -33,9 +55,18 @@ import hashlib
 import json
 import os
 import pathlib
+import random
+import secrets
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Any,
     Callable,
@@ -45,13 +76,16 @@ from typing import (
     Sequence,
 )
 
+from . import faults
+
 #: Bump when the cached-result layout changes.
 CACHE_SCHEMA = 1
 
 #: Manifest layout version (see EXPERIMENTS.md for the schema).
 #: v2 adds committed-instruction counts and simulated-KIPS per job and in
-#: the totals.
-MANIFEST_SCHEMA = 2
+#: the totals; v3 adds per-job status (ok/failed/timeout/skipped),
+#: attempt counts, failure tracebacks, and the run id / robustness knobs.
+MANIFEST_SCHEMA = 3
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
@@ -119,26 +153,64 @@ def _profile_text(profiler) -> str:
     return buffer.getvalue()
 
 
-def _run_timed(worker: Callable[[Any], Dict], payload: Any):
-    """Top-level so it pickles; returns (result, wall seconds, profile).
+def _error_dict(exc: BaseException, trace: Optional[str] = None) -> Dict:
+    """Structured failure record for manifests and journals."""
+    if trace is None:
+        trace = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": trace,
+    }
+
+
+def _run_timed(
+    worker: Callable[[Any], Dict],
+    payload: Any,
+    label: str = "",
+    attempt: int = 0,
+    in_process: bool = False,
+) -> Dict:
+    """Top-level so it pickles; returns a status envelope.
+
+    ``{"status": "ok", "result": ..., "wall_s": ..., "profile": ...}``
+    on success, ``{"status": "failed", "wall_s": ..., "error": {...}}``
+    when the worker raises -- exceptions are captured *inside* the
+    worker process so the full traceback survives the trip back and a
+    deterministic failure can be told apart from infrastructure faults
+    (which surface as ``BrokenProcessPool``/timeouts instead).
 
     Profiling is keyed off the ``REPRO_PROFILE`` environment variable
     (not an argument) so the switch survives the trip into
-    ``ProcessPoolExecutor`` workers; ``profile`` is the top
-    :data:`PROFILE_TOP` cumulative-time entries, or ``None`` when
-    profiling is off.
+    ``ProcessPoolExecutor`` workers; fault injection
+    (``REPRO_FAULT_INJECT``) rides the environment the same way.
     """
-    if _env_profile_enabled():
-        import cProfile
-
-        profiler = cProfile.Profile()
-        start = time.perf_counter()
-        result = profiler.runcall(worker, payload)
-        wall = time.perf_counter() - start
-        return result, wall, _profile_text(profiler)
     start = time.perf_counter()
-    result = worker(payload)
-    return result, time.perf_counter() - start, None
+    profile = None
+    try:
+        faults.inject_worker_faults(label, attempt, in_process=in_process)
+        if _env_profile_enabled():
+            import cProfile
+
+            profiler = cProfile.Profile()
+            result = profiler.runcall(worker, payload)
+            profile = _profile_text(profiler)
+        else:
+            result = worker(payload)
+    except Exception as exc:
+        return {
+            "status": "failed",
+            "wall_s": time.perf_counter() - start,
+            "error": _error_dict(exc, trace=traceback.format_exc()),
+        }
+    return {
+        "status": "ok",
+        "result": result,
+        "wall_s": time.perf_counter() - start,
+        "profile": profile,
+    }
 
 
 def _seed_worker(payload) -> Dict:
@@ -162,8 +234,66 @@ def _env_cache_enabled() -> bool:
     )
 
 
+def _env_retries() -> int:
+    raw = os.environ.get("REPRO_RETRIES", "").strip()
+    return max(0, int(raw)) if raw else 2
+
+
+def _env_job_timeout() -> Optional[float]:
+    raw = os.environ.get("REPRO_JOB_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
+
+def _env_retry_backoff() -> float:
+    raw = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
+    return max(0.0, float(raw)) if raw else 0.5
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers and abandon it without waiting.
+
+    ``ProcessPoolExecutor`` has no public kill switch, so the watchdog
+    reaches for the worker ``Process`` handles directly; the management
+    thread notices the deaths and winds itself down.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+class _JobState:
+    """Mutable per-payload bookkeeping for one :meth:`map` call."""
+
+    __slots__ = (
+        "result", "wall_s", "source", "profile", "status", "error",
+        "attempts",
+    )
+
+    def __init__(self) -> None:
+        self.result: Optional[Dict] = None
+        self.wall_s = 0.0
+        #: "hit" (cache), "journal" (resume replay), or "miss" (executed).
+        self.source = "miss"
+        self.profile: Optional[str] = None
+        #: "pending" -> "ok" | "failed" | "timeout" | "skipped".
+        self.status = "pending"
+        self.error: Optional[Dict] = None
+        self.attempts = 0
+
+
 class ExperimentEngine:
-    """Schedules experiment jobs over processes, with an on-disk cache."""
+    """Schedules experiment jobs over processes, with an on-disk cache,
+    per-job fault isolation, retries, and a checkpoint journal."""
 
     def __init__(
         self,
@@ -171,6 +301,10 @@ class ExperimentEngine:
         cache_dir: Optional[pathlib.Path] = None,
         use_cache: Optional[bool] = None,
         progress: Optional[Callable[[int, int, str], None]] = None,
+        run_id: Optional[str] = None,
+        resume: bool = False,
+        job_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _env_jobs()
         if cache_dir is not None:
@@ -184,15 +318,40 @@ class ExperimentEngine:
             use_cache if use_cache is not None else _env_cache_enabled()
         )
         self.progress = progress
+        #: Journal identity; ``None`` disables journalling entirely.
+        self.run_id = run_id
+        self.resume = resume
+        self.job_timeout = (
+            job_timeout if job_timeout is not None else _env_job_timeout()
+        )
+        self.retries = retries if retries is not None else _env_retries()
+        self.retry_backoff = _env_retry_backoff()
+        #: When set (the CLI does), a partial manifest is written here if
+        #: a run is interrupted mid-:meth:`map`.
+        self.manifest_path: Optional[pathlib.Path] = None
+        self._journal_handle = None
+        self._journal_replay: Dict[str, Dict] = (
+            self._load_journal() if (resume and run_id) else {}
+        )
+        self._rng = random.Random()  # backoff jitter only
         self.reset_stats()
+
+    @staticmethod
+    def new_run_id() -> str:
+        """Fresh journal identity, e.g. ``20260806-104512-3fa9c1``."""
+        return time.strftime("%Y%m%d-%H%M%S") + "-" + secrets.token_hex(3)
 
     # -- observability -----------------------------------------------------
 
     def reset_stats(self) -> None:
         self.cache_hits = 0
         self.cache_misses = 0
+        self.journal_hits = 0
+        self.cache_quarantined = 0
         #: One record per executed/looked-up job, in submission order.
         self.records: List[Dict] = []
+        #: Records of the most recent :meth:`map` call, payload-aligned.
+        self._last_records: List[Dict] = []
         #: (label, text) per profiled job (``REPRO_PROFILE=1`` runs only).
         self.profiles: List[tuple] = []
 
@@ -217,8 +376,28 @@ class ExperimentEngine:
             return 0.0
         return self.total_committed_instructions / wall / 1000.0
 
+    @property
+    def failures(self) -> List[Dict]:
+        """Records that ended in ``failed``/``timeout`` (not skipped)."""
+        return [
+            r for r in self.records if r["status"] in ("failed", "timeout")
+        ]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts = {"ok": 0, "failed": 0, "timeout": 0, "skipped": 0}
+        for record in self.records:
+            counts[record.get("status", "ok")] = (
+                counts.get(record.get("status", "ok"), 0) + 1
+            )
+        return counts
+
     def manifest(self, config: Any = None) -> Dict:
         """Machine-readable run record (see EXPERIMENTS.md for schema)."""
+        try:
+            plan = faults.plan_from_env()
+        except ValueError:
+            plan = None
+        counts = self.status_counts()
         out = {
             "schema": MANIFEST_SCHEMA,
             "written_unix": time.time(),
@@ -227,11 +406,25 @@ class ExperimentEngine:
                 "cache_dir": str(self.cache_dir),
                 "cache_enabled": self.use_cache,
                 "code_version": code_version(),
+                "run_id": self.run_id,
+                "resume": self.resume,
+                "retries": self.retries,
+                "job_timeout_s": self.job_timeout,
+                "fault_inject": plan.spec() if plan else None,
             },
             "totals": {
                 "jobs": len(self.records),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                "journal_hits": self.journal_hits,
+                "quarantined": self.cache_quarantined,
+                "ok": counts["ok"],
+                "failed": counts["failed"],
+                "timeout": counts["timeout"],
+                "skipped": counts["skipped"],
+                "retries_used": sum(
+                    max(0, r.get("attempts", 1) - 1) for r in self.records
+                ),
                 "wall_s": self.total_wall_s,
                 "simulated_cycles": self.total_simulated_cycles,
                 "committed_instructions":
@@ -276,14 +469,41 @@ class ExperimentEngine:
         )
         return hashlib.sha256(blob.encode()).hexdigest()
 
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move an unreadable/stale cache entry aside for inspection."""
+        quarantine_dir = self.cache_dir / "quarantine"
+        try:
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine_dir / path.name)
+        except OSError:
+            return
+        self.cache_quarantined += 1
+
     def _cache_load(self, key: Optional[str]) -> Optional[Dict]:
+        """Validated cache read: a missing file is a plain miss; an entry
+        that is not valid JSON, carries the wrong schema, or lacks a dict
+        ``result`` is quarantined and counts as a miss (it used to raise
+        ``KeyError`` mid-run)."""
         if key is None or not self.use_cache:
             return None
         path = self.cache_dir / f"{key}.json"
         try:
-            return json.loads(path.read_text())
-        except (OSError, ValueError):
+            raw = path.read_text()
+        except OSError:
             return None
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or not isinstance(entry.get("result"), dict)
+        ):
+            self._quarantine(path)
+            return None
+        return entry
 
     def _cache_store(
         self, key: Optional[str], label: str, result: Dict, wall_s: float
@@ -299,6 +519,8 @@ class ExperimentEngine:
                 "result": result,
             }
         )
+        if faults.should_corrupt_cache(label):
+            payload = payload[: max(1, len(payload) // 2)]
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -310,6 +532,58 @@ class ExperimentEngine:
             except OSError:
                 pass
 
+    # -- run journal (checkpoint/resume) -----------------------------------
+
+    def journal_path(self) -> Optional[pathlib.Path]:
+        if self.run_id is None:
+            return None
+        return self.cache_dir / "runs" / f"{self.run_id}.jsonl"
+
+    def _load_journal(self) -> Dict[str, Dict]:
+        """Successful entries of an earlier run, keyed by cache key.
+
+        Tolerates a torn final line (the previous run may have died
+        mid-append); later entries for the same key win.
+        """
+        path = self.journal_path()
+        replay: Dict[str, Dict] = {}
+        if path is None or not path.exists():
+            return replay
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(entry, dict) or "key" not in entry:
+                continue
+            if entry.get("status") == "ok" and isinstance(
+                entry.get("result"), dict
+            ):
+                replay[entry["key"]] = entry
+            else:
+                replay.pop(entry.get("key"), None)
+        return replay
+
+    def _journal_append(self, entry: Dict) -> None:
+        path = self.journal_path()
+        if path is None:
+            return
+        if self._journal_handle is None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._journal_handle = open(path, "a")
+        self._journal_handle.write(json.dumps(entry) + "\n")
+        self._journal_handle.flush()
+
+    def close_journal(self) -> None:
+        if self._journal_handle is not None:
+            try:
+                self._journal_handle.close()
+            finally:
+                self._journal_handle = None
+
     # -- execution ---------------------------------------------------------
 
     def map(
@@ -317,93 +591,400 @@ class ExperimentEngine:
         worker: Callable[[Any], Dict],
         payloads: Sequence[Any],
         labels: Optional[Sequence[str]] = None,
-    ) -> List[Dict]:
+    ) -> List[Optional[Dict]]:
         """Run ``worker`` over every payload; results in payload order.
 
         ``worker`` must be a top-level function returning a
         JSON-serialisable dict (so results can cross process boundaries
         and live in the cache).  A ``"simulated_cycles"`` key, when
         present, feeds the manifest's cycle counter.
+
+        A job whose worker raises, whose process dies, or which exceeds
+        the per-job timeout (after ``retries`` infrastructure retries)
+        yields ``None`` in the returned list instead of aborting the
+        whole call; the corresponding entry of :attr:`records` carries
+        the status and the failure detail.  Every finished job is
+        persisted to the cache and the run journal *as it completes*,
+        so an interrupt or crash loses at most the jobs in flight.
+
+        On ``KeyboardInterrupt``: pending work is cancelled, the pool
+        is shut down without waiting, completed results are already on
+        disk, unfinished jobs are recorded as ``skipped``, a partial
+        manifest is written to :attr:`manifest_path` (when set), and
+        the interrupt is re-raised.
         """
         total = len(payloads)
         if labels is None:
             labels = [f"{worker.__name__}[{i}]" for i in range(total)]
         keys = [self._cache_key(worker, p) for p in payloads]
-        results: List[Optional[Dict]] = [None] * total
-        walls = [0.0] * total
-        hits = [False] * total
-        profiles: List[Optional[str]] = [None] * total
+        states = [_JobState() for _ in range(total)]
+        progress_done = [0]
+
+        def tick(i: int) -> None:
+            progress_done[0] += 1
+            if self.progress:
+                self.progress(progress_done[0], total, labels[i])
+
         pending: List[int] = []
-        done = 0
         for i in range(total):
+            state = states[i]
+            replayed = self._journal_replay.get(keys[i])
+            if replayed is not None:
+                state.result = replayed["result"]
+                state.wall_s = replayed.get("wall_s", 0.0)
+                state.source = "journal"
+                state.status = "ok"
+                tick(i)
+                continue
             cached = self._cache_load(keys[i])
             if cached is not None:
-                results[i] = cached["result"]
-                walls[i] = cached.get("wall_s", 0.0)
-                hits[i] = True
-                done += 1
-                if self.progress:
-                    self.progress(done, total, labels[i])
+                state.result = cached["result"]
+                state.wall_s = cached.get("wall_s", 0.0)
+                state.source = "hit"
+                state.status = "ok"
+                tick(i)
             else:
                 pending.append(i)
 
-        if pending and self.jobs > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_run_timed, worker, payloads[i]): i
-                    for i in pending
-                }
-                for future in as_completed(futures):
-                    i = futures[future]
-                    results[i], walls[i], profiles[i] = future.result()
-                    done += 1
-                    if self.progress:
-                        self.progress(done, total, labels[i])
-        else:
-            for i in pending:
-                results[i], walls[i], profiles[i] = _run_timed(
-                    worker, payloads[i]
+        try:
+            if pending and self.jobs > 1:
+                self._run_supervised(
+                    worker, payloads, labels, keys, states, pending, tick
                 )
-                done += 1
-                if self.progress:
-                    self.progress(done, total, labels[i])
+            elif pending:
+                self._run_serial(
+                    worker, payloads, labels, keys, states, pending, tick
+                )
+        except KeyboardInterrupt:
+            self._finalise(labels, keys, states)
+            if self.manifest_path is not None:
+                try:
+                    self.write_manifest(self.manifest_path)
+                except OSError:
+                    pass
+            raise
 
+        self._finalise(labels, keys, states)
+        return [
+            state.result if state.status == "ok" else None
+            for state in states
+        ]
+
+    # -- completion plumbing (shared by serial + supervised paths) ---------
+
+    def _absorb(
+        self,
+        i: int,
+        attempt: int,
+        envelope: Dict,
+        labels: Sequence[str],
+        keys: Sequence[str],
+        states: Sequence[_JobState],
+        tick: Callable[[int], None],
+    ) -> None:
+        """Fold one worker envelope into the job state; persist it."""
+        state = states[i]
+        state.attempts = attempt + 1
+        state.wall_s = envelope.get("wall_s", 0.0)
+        if envelope.get("status") == "ok":
+            state.result = envelope.get("result")
+            state.profile = envelope.get("profile")
+            state.status = "ok"
+            self._cache_store(keys[i], labels[i], state.result, state.wall_s)
+            self._journal_append(
+                {
+                    "key": keys[i],
+                    "label": labels[i],
+                    "status": "ok",
+                    "wall_s": state.wall_s,
+                    "attempts": state.attempts,
+                    "result": state.result,
+                    "unix": time.time(),
+                }
+            )
+        else:
+            error = envelope.get("error") or {
+                "type": "InvalidEnvelope",
+                "message": repr(envelope),
+                "traceback": "",
+            }
+            # A serial-path injected hang degrades to an exception but
+            # is still a timeout as far as reporting goes.
+            status = (
+                "timeout" if error.get("type") == "InjectedHang"
+                else "failed"
+            )
+            self._fail(i, status, error, labels, keys, states)
+        tick(i)
+
+    def _fail(
+        self,
+        i: int,
+        status: str,
+        error: Dict,
+        labels: Sequence[str],
+        keys: Sequence[str],
+        states: Sequence[_JobState],
+    ) -> None:
+        """Record a job's final failure (never cached, but journaled)."""
+        state = states[i]
+        state.status = status
+        state.error = error
+        state.attempts = max(1, state.attempts)
+        self._journal_append(
+            {
+                "key": keys[i],
+                "label": labels[i],
+                "status": status,
+                "wall_s": state.wall_s,
+                "attempts": state.attempts,
+                "error": error,
+                "unix": time.time(),
+            }
+        )
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = self.retry_backoff
+        if base <= 0:
+            return 0.0
+        return base * (2 ** attempt) + self._rng.uniform(0, base)
+
+    def _run_serial(
+        self, worker, payloads, labels, keys, states, pending, tick
+    ) -> None:
+        """The ``jobs=1`` path: in-process, no watchdog (a timeout
+        cannot interrupt the main process), deterministic failures
+        isolated exactly like the pool path."""
         for i in pending:
-            self._cache_store(keys[i], labels[i], results[i], walls[i])
+            envelope = _run_timed(
+                worker, payloads[i], labels[i], 0, in_process=True
+            )
+            self._absorb(i, 0, envelope, labels, keys, states, tick)
 
-        for i in range(total):
-            result = results[i]
+    def _run_supervised(
+        self, worker, payloads, labels, keys, states, pending, tick
+    ) -> None:
+        """Pool execution under supervision.
+
+        At most ``jobs`` futures are outstanding at once so a submitted
+        job starts (approximately) immediately, which is what makes a
+        submission-time deadline a faithful per-job timeout.  Queue
+        entries are ``(index, attempt, not_before)``; infrastructure
+        faults (dead worker process, timeout) requeue with the attempt
+        charged and an exponential-backoff-with-jitter delay, while
+        innocent jobs caught in a pool kill requeue at no cost.
+        """
+        max_workers = min(self.jobs, len(pending))
+        timeout = self.job_timeout
+        poll = (
+            max(0.01, min(0.1, timeout / 5.0)) if timeout else 0.1
+        )
+        queue: List[tuple] = [(i, 0, 0.0) for i in pending]
+        outstanding: Dict[Any, tuple] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def settle(future, i: int, attempt: int) -> bool:
+            """Fold a completed future; returns True if the pool broke."""
+            try:
+                envelope = future.result()
+            except (BrokenProcessPool, CancelledError) as exc:
+                self._infra_fault(
+                    queue, i, attempt, "broken-pool", exc,
+                    labels, keys, states, tick,
+                )
+                return True
+            except Exception as exc:
+                # e.g. the envelope failed to unpickle: deterministic.
+                states[i].attempts = attempt + 1
+                self._fail(
+                    i, "failed", _error_dict(exc), labels, keys, states
+                )
+                tick(i)
+                return False
+            self._absorb(
+                i, attempt, envelope, labels, keys, states, tick
+            )
+            return False
+
+        try:
+            while queue or outstanding:
+                now = time.monotonic()
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                # Fill free worker slots with ready queue entries.
+                pool_died = False
+                deferred: List[tuple] = []
+                for entry in queue:
+                    i, attempt, not_before = entry
+                    if pool_died or len(outstanding) >= max_workers \
+                            or not_before > now:
+                        deferred.append(entry)
+                        continue
+                    try:
+                        future = pool.submit(
+                            _run_timed, worker, payloads[i],
+                            labels[i], attempt,
+                        )
+                    except Exception:
+                        # Pool broke between loops; requeue at no cost.
+                        deferred.append(entry)
+                        pool_died = True
+                        continue
+                    deadline = now + timeout if timeout else None
+                    outstanding[future] = (i, attempt, deadline)
+                queue[:] = deferred
+
+                if pool_died:
+                    self._drain_broken(outstanding, queue, settle)
+                    _kill_pool(pool)
+                    pool = None
+                    continue
+
+                if not outstanding:
+                    if queue:
+                        wake = min(entry[2] for entry in queue)
+                        time.sleep(
+                            max(0.0, min(wake - time.monotonic(), 1.0))
+                        )
+                    continue
+
+                wait_timeout = poll if (timeout or queue) else None
+                done, _ = wait(
+                    set(outstanding),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    i, attempt, _ = outstanding.pop(future)
+                    broken = settle(future, i, attempt) or broken
+                if broken:
+                    # Every other future on the dead pool resolves
+                    # exceptionally as well; retry them all, then
+                    # respawn.
+                    self._drain_broken(outstanding, queue, settle)
+                    _kill_pool(pool)
+                    pool = None
+                    continue
+
+                if timeout:
+                    now = time.monotonic()
+                    expired = {
+                        future
+                        for future, (_, _, deadline) in outstanding.items()
+                        if deadline is not None
+                        and now >= deadline
+                        and not future.done()
+                    }
+                    if expired:
+                        # The watchdog can only kill whole pools, so
+                        # completed-in-the-meantime futures are folded
+                        # normally and innocent running jobs requeue
+                        # with no attempt charged.
+                        for future, (i, attempt, _) in list(
+                            outstanding.items()
+                        ):
+                            if future in expired:
+                                exc = TimeoutError(
+                                    f"job {labels[i]!r} exceeded "
+                                    f"{timeout:g}s (attempt {attempt})"
+                                )
+                                self._infra_fault(
+                                    queue, i, attempt, "timeout", exc,
+                                    labels, keys, states, tick,
+                                )
+                            elif future.done():
+                                settle(future, i, attempt)
+                            else:
+                                queue.append((i, attempt, 0.0))
+                        outstanding.clear()
+                        _kill_pool(pool)
+                        pool = None
+        except KeyboardInterrupt:
+            if pool is not None:
+                for future in outstanding:
+                    future.cancel()
+                _kill_pool(pool)
+            raise
+        else:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    def _drain_broken(
+        self, outstanding: Dict, queue: List[tuple], settle
+    ) -> bool:
+        """Fold every remaining future of a broken pool (they all
+        resolve promptly once the pool notices the dead worker)."""
+        broken = False
+        for future, (i, attempt, _) in list(outstanding.items()):
+            broken = settle(future, i, attempt) or broken
+        outstanding.clear()
+        return broken
+
+    def _infra_fault(
+        self, queue, i, attempt, kind, exc, labels, keys, states, tick
+    ) -> None:
+        """A dead worker process or a timeout: retry with backoff until
+        the attempt budget runs out, then record the final status."""
+        if attempt < self.retries:
+            not_before = time.monotonic() + self._backoff_delay(attempt)
+            queue.append((i, attempt + 1, not_before))
+            return
+        states[i].attempts = attempt + 1
+        status = "timeout" if kind == "timeout" else "failed"
+        self._fail(i, status, _error_dict(exc), labels, keys, states)
+        tick(i)
+
+    def _finalise(
+        self,
+        labels: Sequence[str],
+        keys: Sequence[str],
+        states: Sequence[_JobState],
+    ) -> None:
+        """Build the per-job records (payload order) and update counters;
+        jobs still pending (interrupted run) become ``skipped``."""
+        self._last_records = []
+        for i, state in enumerate(states):
+            if state.status == "pending":
+                state.status = "skipped"
+            if state.source == "hit":
+                self.cache_hits += 1
+            elif state.source == "journal":
+                self.journal_hits += 1
+            elif state.status != "skipped":
+                self.cache_misses += 1
+            result = state.result
             if isinstance(result, dict):
                 cycles = result.get("simulated_cycles", 0)
                 committed = result.get("committed_instructions", 0)
             else:
                 cycles = 0
                 committed = 0
-            if hits[i]:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-            wall = walls[i]
-            self.records.append(
-                {
-                    "label": labels[i],
-                    "key": keys[i],
-                    "cache": "hit" if hits[i] else "miss",
-                    "wall_s": wall,
-                    "simulated_cycles": cycles,
-                    "committed_instructions": committed,
-                    # Simulated instructions per wall-clock millisecond;
-                    # for cache hits this reflects the recorded wall time
-                    # of the original execution.
-                    "sim_kips": (
-                        committed / wall / 1000.0 if wall > 0 else 0.0
-                    ),
-                }
-            )
-            if profiles[i] is not None:
-                self.profiles.append((labels[i], profiles[i]))
-        return results  # type: ignore[return-value]
+            wall = state.wall_s
+            record = {
+                "label": labels[i],
+                "key": keys[i],
+                "cache": (
+                    state.source if state.status != "skipped"
+                    else "skipped"
+                ),
+                "status": state.status,
+                "attempts": state.attempts,
+                "error": state.error,
+                "wall_s": wall,
+                "simulated_cycles": cycles,
+                "committed_instructions": committed,
+                # Simulated instructions per wall-clock millisecond;
+                # for cache hits this reflects the recorded wall time
+                # of the original execution.
+                "sim_kips": (
+                    committed / wall / 1000.0 if wall > 0 else 0.0
+                ),
+            }
+            self.records.append(record)
+            self._last_records.append(record)
+            if state.profile is not None:
+                self.profiles.append((labels[i], state.profile))
 
     # -- benchmark-level API ----------------------------------------------
 
@@ -412,8 +993,11 @@ class ExperimentEngine:
 
         Byte-identical to the serial path: job order, and therefore
         every combine step, is fixed by (name, seed) submission order.
+        A benchmark with any failed seed job comes back as a
+        failure-status :class:`~.harness.BenchmarkOutcome` (carrying
+        the per-seed error summary) instead of aborting the sweep.
         """
-        from .harness import combine_seed_results
+        from .harness import BenchmarkOutcome, combine_seed_results
 
         payloads = [
             (name, seed, config)
@@ -422,11 +1006,34 @@ class ExperimentEngine:
         ]
         labels = [f"{name}@seed{seed}" for name, seed, _ in payloads]
         results = self.map(_seed_worker, payloads, labels=labels)
+        records = self._last_records
         per_seed = len(config.ref_seeds)
         outcomes = []
         for i, name in enumerate(names):
-            chunk = results[i * per_seed:(i + 1) * per_seed]
-            outcomes.append(combine_seed_results(name, config, chunk))
+            lo, hi = i * per_seed, (i + 1) * per_seed
+            chunk = results[lo:hi]
+            if all(r is not None for r in chunk):
+                outcomes.append(combine_seed_results(name, config, chunk))
+                continue
+            bad = [r for r in records[lo:hi] if r["status"] != "ok"]
+            statuses = {r["status"] for r in bad}
+            status = (
+                "timeout" if "timeout" in statuses
+                else "failed" if "failed" in statuses
+                else "skipped"
+            )
+            detail = "; ".join(
+                "{}: {}".format(
+                    r["label"],
+                    (r.get("error") or {}).get("type", r["status"]),
+                )
+                for r in bad
+            )
+            outcomes.append(
+                BenchmarkOutcome.failure(
+                    name, config, status=status, error=detail
+                )
+            )
         return outcomes
 
     def run_benchmark(self, name: str, config):

@@ -71,21 +71,57 @@ class RunConfig:
 
 @dataclass
 class BenchmarkOutcome:
-    """Everything measured for one benchmark under one RunConfig."""
+    """Everything measured for one benchmark under one RunConfig.
+
+    ``status`` is ``"ok"`` for a fully-measured benchmark; a benchmark
+    with any failed/timed-out/skipped seed job (see the engine's
+    supervision layer) comes back with that status, ``metrics=None``,
+    and a one-line ``error`` summary so renderers can mark the row
+    instead of crashing.
+    """
 
     name: str
     #: speedups[width][seed] -> % speedup of decomposed over baseline.
     speedups: Dict[int, Dict[int, float]]
-    metrics: BenchmarkMetrics
+    metrics: Optional[BenchmarkMetrics]
     converted: int
     forward_branches: int
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def failure(
+        cls,
+        name: str,
+        config: "RunConfig",
+        status: str = "failed",
+        error: Optional[str] = None,
+    ) -> "BenchmarkOutcome":
+        return cls(
+            name=name,
+            speedups={w: {} for w in config.widths},
+            metrics=None,
+            converted=0,
+            forward_branches=0,
+            status=status,
+            error=error,
+        )
 
     def mean_speedup(self, width: int) -> float:
         per_seed = self.speedups[width]
+        if not per_seed:
+            return float("nan")
         return geomean_speedup(list(per_seed.values()))
 
     def best_input_speedup(self, width: int) -> float:
-        return max(self.speedups[width].values())
+        per_seed = self.speedups[width]
+        if not per_seed:
+            return float("nan")
+        return max(per_seed.values())
 
 
 def run_seed(name: str, seed: int, config: RunConfig) -> Dict:

@@ -9,7 +9,7 @@ predictable branches dynamically)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..analysis import render_table, speedup_percent
@@ -32,6 +32,8 @@ class MotivationRow:
 @dataclass
 class MotivationResult:
     rows: List[MotivationRow]
+    #: Benchmarks whose engine jobs failed; rendered as marked rows.
+    failed: List[str] = field(default_factory=list)
 
     def render(self) -> str:
         table = [
@@ -43,6 +45,9 @@ class MotivationResult:
             ]
             for r in self.rows
         ]
+        table.extend(
+            [name, "FAILED", "-", "-"] for name in self.failed
+        )
         return render_table(
             [
                 "benchmark",
@@ -118,8 +123,12 @@ def run(
             ooo_vs_inorder_baseline=result["ooo_vs_inorder_baseline"],
         )
         for name, result in zip(benchmarks, results)
+        if result is not None
     ]
-    return MotivationResult(rows=rows)
+    failed = [
+        name for name, result in zip(benchmarks, results) if result is None
+    ]
+    return MotivationResult(rows=rows, failed=failed)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

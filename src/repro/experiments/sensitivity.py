@@ -14,7 +14,7 @@ speedup-per-accuracy slope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis import render_table, speedup_percent
@@ -57,6 +57,8 @@ class SensitivityPoint:
 @dataclass
 class SensitivityResult:
     points: List[SensitivityPoint]
+    #: Labels of ladder rungs whose engine jobs failed (points omitted).
+    failed: List[str] = dataclass_field(default_factory=list)
 
     def slope(self, benchmark: str) -> float:
         """Least-squares % speedup gained per 1% mispredict-rate drop."""
@@ -92,11 +94,16 @@ class SensitivityResult:
             [name, f"{self.slope(name):.3f}"]
             for name in sorted({p.benchmark for p in self.points})
         ]
-        return (
+        out = (
             table
             + "\n\n"
             + render_table(["benchmark", "%speedup per 1% accuracy"], slopes)
         )
+        if self.failed:
+            out += "\nmissing rungs (job failures): " + ", ".join(
+                self.failed
+            )
+        return out
 
 
 def _sensitivity_job(payload) -> Dict:
@@ -149,10 +156,9 @@ def run(
         for name in benchmarks
         for pred_name, _ in LADDER
     ]
+    labels = [f"sensitivity:{n}:{p}" for n, p, _ in payloads]
     results = get_engine(engine).map(
-        _sensitivity_job,
-        payloads,
-        labels=[f"sensitivity:{n}:{p}" for n, p, _ in payloads],
+        _sensitivity_job, payloads, labels=labels
     )
     points = [
         SensitivityPoint(
@@ -162,8 +168,14 @@ def run(
             speedup=result["speedup"],
         )
         for (name, pred_name, _), result in zip(payloads, results)
+        if result is not None
     ]
-    return SensitivityResult(points=points)
+    failed = [
+        label
+        for label, result in zip(labels, results)
+        if result is None
+    ]
+    return SensitivityResult(points=points, failed=failed)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

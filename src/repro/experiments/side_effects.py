@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import (
@@ -34,6 +34,8 @@ class IssueIncreaseResult:
     """Figure 14 data."""
 
     values: List[Tuple[str, float]]  # (benchmark, % increase)
+    #: Benchmarks whose engine jobs failed (bars omitted, called out).
+    failed: List[str] = field(default_factory=list)
 
     def mean_increase(self) -> float:
         if not self.values:
@@ -41,11 +43,16 @@ class IssueIncreaseResult:
         return sum(v for _, v in self.values) / len(self.values)
 
     def render(self) -> str:
-        return render_bars(
+        out = render_bars(
             self.values,
             title="Figure 14: % increase in instructions issued "
             "(4-wide experimental vs baseline)",
         )
+        if self.failed:
+            out += "\nmissing bars (job failures): " + ", ".join(
+                self.failed
+            )
+        return out
 
 
 def _issue_job(payload) -> dict:
@@ -93,7 +100,11 @@ def run_issue_increase(
         values=[
             (name, result["increase"])
             for name, result in zip(names, results)
-        ]
+            if result is not None
+        ],
+        failed=[
+            name for name, result in zip(names, results) if result is None
+        ],
     )
 
 
@@ -107,6 +118,8 @@ class ICacheResult:
     piscs: List[Tuple[str, float]]
     #: (benchmark, % of I$ misses under a mispredict shadow, baseline).
     misses_under_mispredict: List[Tuple[str, float]]
+    #: Benchmarks whose engine jobs failed (rows omitted, called out).
+    failed: List[str] = field(default_factory=list)
 
     def geomean_slowdown(self) -> float:
         return -geomean_speedup([-v for _, v in self.shrink_slowdowns])
@@ -124,6 +137,7 @@ class ICacheResult:
             rows.append(
                 [name, f"{slow:.2f}", f"{size:.1f}", f"{shadow:.1f}"]
             )
+        rows.extend([name, "FAILED", "-", "-"] for name in self.failed)
         return render_table(
             ["benchmark", "24KB-I$ slowdown%", "PISCS%", "I$ miss under misp%"],
             rows,
@@ -180,14 +194,14 @@ def run_icache(
         [(name, config) for name in names],
         labels=[f"sec61:{name}" for name in names],
     )
+    measured = [
+        (n, r) for n, r in zip(names, results) if r is not None
+    ]
     return ICacheResult(
-        shrink_slowdowns=[
-            (n, r["slowdown"]) for n, r in zip(names, results)
-        ],
-        piscs=[(n, r["pisc"]) for n, r in zip(names, results)],
-        misses_under_mispredict=[
-            (n, r["shadow"]) for n, r in zip(names, results)
-        ],
+        shrink_slowdowns=[(n, r["slowdown"]) for n, r in measured],
+        piscs=[(n, r["pisc"]) for n, r in measured],
+        misses_under_mispredict=[(n, r["shadow"]) for n, r in measured],
+        failed=[n for n, r in zip(names, results) if r is None],
     )
 
 

@@ -9,7 +9,7 @@ Each run covers the experimentally-varied widths (2/4/8 in the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import geomean_speedup, render_bars
@@ -34,6 +34,9 @@ class SpeedupFigure:
     best_input: bool
     #: series[width] -> ordered (benchmark, % speedup)
     series: Dict[int, List[Tuple[str, float]]]
+    #: (benchmark, status) for benchmarks whose jobs failed; their bars
+    #: are omitted and called out in the rendering instead.
+    failed: List[Tuple[str, str]] = field(default_factory=list)
 
     def geomean(self, width: int) -> float:
         return geomean_speedup([v for _, v in self.series[width]])
@@ -51,6 +54,11 @@ class SpeedupFigure:
                     ),
                 )
             )
+        if self.failed:
+            blocks.append(
+                "missing bars (job failures): "
+                + ", ".join(f"{n} [{s}]" for n, s in self.failed)
+            )
         return "\n\n".join(blocks)
 
 
@@ -64,6 +72,7 @@ def run_figure(
     suite, best = FIGURES[figure]
     config = config or RunConfig(widths=(2, 4, 8))
     outcomes = get_engine(engine).run_suite(suite, config)
+    measured = [o for o in outcomes if o.ok]
     series: Dict[int, List[Tuple[str, float]]] = {}
     for width in config.widths:
         values = [
@@ -71,12 +80,16 @@ def run_figure(
                 o.name,
                 o.best_input_speedup(width) if best else o.mean_speedup(width),
             )
-            for o in outcomes
+            for o in measured
         ]
         values.sort(key=lambda pair: -pair[1])
         series[width] = values
     return SpeedupFigure(
-        figure=figure, suite=suite, best_input=best, series=series
+        figure=figure,
+        suite=suite,
+        best_input=best,
+        series=series,
+        failed=[(o.name, o.status) for o in outcomes if not o.ok],
     )
 
 

@@ -22,16 +22,34 @@ def run(
     outcomes = []
     for suite in ("int2006", "fp2006"):
         part = engine.run_suite(suite, config)
-        part.sort(key=lambda o: -o.metrics.spd)
+        # Failed benchmarks (engine supervision recorded, not crashed)
+        # sort to the bottom of their half.
+        part.sort(
+            key=lambda o: -o.metrics.spd if o.ok else float("inf")
+        )
         outcomes.extend(part)
     return outcomes
 
 
 def render(outcomes: List[BenchmarkOutcome]) -> str:
-    rows = [o.metrics.row() for o in outcomes]
+    rows = []
+    failed_notes = []
+    for o in outcomes:
+        if o.ok:
+            rows.append(o.metrics.row())
+        else:
+            rows.append(
+                [o.name, o.status.upper()]
+                + ["-"] * (len(TABLE2_HEADER) - 2)
+            )
+            failed_notes.append(f"{o.name}: {o.status} ({o.error})")
     measured = render_table(
         TABLE2_HEADER, rows, title="Table 2 (measured, this reproduction)"
     )
+    if failed_notes:
+        measured += "\nincomplete rows:\n" + "\n".join(
+            f"  {note}" for note in failed_notes
+        )
     paper_rows = []
     for o in outcomes:
         row = BENCHMARKS[o.name].paper

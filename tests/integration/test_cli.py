@@ -32,6 +32,19 @@ class TestParser:
         )
         assert args.iterations == 100 and args.seeds == 2
 
+    def test_robustness_flags(self):
+        args = build_parser().parse_args(
+            ["--job-timeout", "2.5", "--retries", "4",
+             "--resume", "20260806-101500-abc123", "table2"]
+        )
+        assert args.job_timeout == 2.5
+        assert args.retries == 4
+        assert args.resume == "20260806-101500-abc123"
+        args = build_parser().parse_args(["table2"])
+        assert args.job_timeout is None
+        assert args.retries is None
+        assert args.resume is None
+
 
 class TestExecution:
     def test_bench_command(self, capsys):
@@ -48,3 +61,18 @@ class TestExecution:
     def test_taxonomy_command(self, capsys):
         assert main(["--iterations", "80", "taxonomy", "int2006"]) == 0
         assert "TOTAL" in capsys.readouterr().out
+
+    @pytest.mark.faults
+    def test_failed_job_exits_nonzero(self, capsys, monkeypatch):
+        """An injected crash must surface as a FAILED line and exit 1
+        instead of a traceback (graceful degradation end to end)."""
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:1.0@seed=1")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        code = main(
+            ["--iterations", "90", "--jobs", "1", "--no-cache",
+             "bench", "omnetpp"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "omnetpp: FAILED" in out
+        assert "InjectedCrash" in out

@@ -132,6 +132,38 @@ class TestObservability:
             assert record["cache"] in ("hit", "miss")
             assert "h264ref" in record["label"]
 
+    def test_manifest_schema3_health_fields(self, tmp_path):
+        """Schema 3: per-job status/attempts/error plus run identity and
+        robustness knobs in the engine block and health totals."""
+        config = RunConfig.quick()
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=True, run_id="m3",
+            retries=1, job_timeout=30.0,
+        )
+        engine.run_benchmark("h264ref", config)
+        manifest = engine.manifest(config)
+        assert manifest["schema"] == 3
+        block = manifest["engine"]
+        assert block["run_id"] == "m3"
+        assert block["resume"] is False
+        assert block["retries"] == 1
+        assert block["job_timeout_s"] == 30.0
+        assert block["fault_inject"] is None
+        totals = manifest["totals"]
+        assert totals["ok"] == totals["jobs"] == len(config.ref_seeds)
+        assert totals["failed"] == totals["timeout"] == 0
+        assert totals["skipped"] == totals["retries_used"] == 0
+        assert totals["journal_hits"] == totals["quarantined"] == 0
+        for record in manifest["jobs"]:
+            assert record["status"] == "ok"
+            assert record["attempts"] == 1
+            assert record["error"] is None
+        # Every completed job was checkpointed as it finished.
+        journal = tmp_path / "runs" / "m3.jsonl"
+        assert len(journal.read_text().splitlines()) == len(
+            config.ref_seeds
+        )
+
     def test_manifest_reports_simulated_kips(self, tmp_path):
         config = RunConfig.quick()
         engine = ExperimentEngine(jobs=1, cache_dir=tmp_path, use_cache=True)

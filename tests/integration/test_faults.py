@@ -1,0 +1,426 @@
+"""Engine robustness under faults: isolation, retries, checkpoints.
+
+Every scenario the supervision layer claims to survive is exercised
+here at quick scale with ``jobs=2``, driven either by real misbehaving
+workers (raise / ``os._exit`` / sleep) or by the deterministic
+fault-injection harness (``REPRO_FAULT_INJECT``) -- no flaky sleeps,
+no random kill signals.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments import ExperimentEngine, RunConfig
+from repro.experiments.engine import CACHE_SCHEMA, MANIFEST_SCHEMA
+from repro.experiments.faults import FaultPlan, parse_plan
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def _fault_free_fast_retries(monkeypatch):
+    """No backoff sleeps, and no fault plan leaking in from the caller's
+    environment; tests that want injection set REPRO_FAULT_INJECT."""
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_HANG_S", raising=False)
+
+
+# -- engine-mappable workers (top level so they pickle) --------------------
+
+def _square_job(payload) -> dict:
+    return {
+        "value": payload * payload,
+        "simulated_cycles": 10,
+        "committed_instructions": 10,
+    }
+
+
+def _odd_boom_job(payload) -> dict:
+    """Deterministic worker exception on odd payloads."""
+    if payload % 2:
+        raise ValueError(f"odd payload {payload}")
+    return {"value": payload}
+
+
+def _die_once_job(payload) -> dict:
+    """Kills its worker process the first time each payload runs
+    (simulating an OOM kill); succeeds on the retry.  The marker file
+    is how an attempt survives the process death."""
+    marker_dir, value = payload
+    marker = pathlib.Path(marker_dir) / f"{value}.died"
+    if not marker.exists():
+        marker.write_text("died")
+        os._exit(3)
+    return {"value": value}
+
+
+def _always_die_job(payload) -> dict:
+    os._exit(3)
+
+
+def _sleep_job(payload) -> dict:
+    time.sleep(payload)
+    return {"value": payload}
+
+
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        plan = parse_plan("crash:0.2,hang:0.1,corrupt_cache:0.1@seed=7")
+        assert plan.rates == {
+            "crash": 0.2, "hang": 0.1, "corrupt_cache": 0.1,
+        }
+        assert plan.seed == 7
+        assert parse_plan(plan.spec()) == plan
+
+    def test_parse_rejects_unknown_kind_and_bad_rate(self):
+        with pytest.raises(ValueError):
+            parse_plan("meteor:0.5")
+        with pytest.raises(ValueError):
+            parse_plan("crash:1.5")
+        assert parse_plan("") is None
+        assert parse_plan("   ") is None
+
+    def test_decide_is_deterministic_and_seeded(self):
+        plan = FaultPlan({"crash": 0.5}, seed=7)
+        labels = [f"job{i}" for i in range(64)]
+        first = [plan.decide("crash", label, 0) for label in labels]
+        again = [plan.decide("crash", label, 0) for label in labels]
+        assert first == again
+        assert any(first) and not all(first)  # rate 0.5 actually mixes
+        other = FaultPlan({"crash": 0.5}, seed=8)
+        assert first != [plan_decide for plan_decide in (
+            other.decide("crash", label, 0) for label in labels
+        )]
+
+    def test_rate_extremes(self):
+        always = FaultPlan({"crash": 1.0}, seed=1)
+        never = FaultPlan({"crash": 0.0}, seed=1)
+        for label in ("a", "b", "c"):
+            assert always.decide("crash", label, 0)
+            assert not never.decide("crash", label, 0)
+
+
+class TestWorkerExceptionIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_raise_is_recorded_not_raised(self, jobs):
+        engine = ExperimentEngine(jobs=jobs, use_cache=False, retries=2)
+        results = engine.map(
+            _odd_boom_job, [0, 1, 2, 3],
+            labels=[f"boom{i}" for i in range(4)],
+        )
+        assert results == [{"value": 0}, None, {"value": 2}, None]
+        statuses = [r["status"] for r in engine.records]
+        assert statuses == ["ok", "failed", "ok", "failed"]
+        failed = engine.failures
+        assert len(failed) == 2
+        for record in failed:
+            # Deterministic failures are never retried.
+            assert record["attempts"] == 1
+            assert record["error"]["type"] == "ValueError"
+            assert "odd payload" in record["error"]["message"]
+            assert "ValueError" in record["error"]["traceback"]
+
+
+class TestBrokenPool:
+    def test_dead_worker_is_retried_and_succeeds(self, tmp_path):
+        payloads = [(str(tmp_path), i) for i in range(4)]
+        engine = ExperimentEngine(jobs=2, use_cache=False, retries=2)
+        results = engine.map(
+            _die_once_job, payloads,
+            labels=[f"die{i}" for i in range(4)],
+        )
+        assert results == [{"value": i} for i in range(4)]
+        assert all(r["status"] == "ok" for r in engine.records)
+        # Every payload died exactly once, so at least the direct victim
+        # of each pool death carries a charged retry.
+        assert max(r["attempts"] for r in engine.records) >= 2
+
+    def test_retries_exhausted_records_broken_pool(self):
+        engine = ExperimentEngine(jobs=2, use_cache=False, retries=1)
+        results = engine.map(
+            _always_die_job, [0], labels=["hopeless"]
+        )
+        assert results == [None]
+        (record,) = engine.records
+        assert record["status"] == "failed"
+        assert record["attempts"] == 2  # initial try + 1 retry
+        assert record["error"]["type"] == "BrokenProcessPool"
+
+    def test_mid_batch_death_spares_other_jobs(self, tmp_path):
+        """A pool death mid-batch must not lose the independent jobs
+        that were merely co-resident in the dying pool."""
+        payloads = [(str(tmp_path), 0), (str(tmp_path), 1)]
+        engine = ExperimentEngine(jobs=2, use_cache=False, retries=3)
+        results = engine.map(
+            _die_once_job, payloads, labels=["a", "b"]
+        )
+        assert results == [{"value": 0}, {"value": 1}]
+
+
+class TestTimeouts:
+    def test_watchdog_kills_overrunning_job(self):
+        engine = ExperimentEngine(
+            jobs=2, use_cache=False, retries=0, job_timeout=0.5
+        )
+        start = time.monotonic()
+        results = engine.map(
+            _sleep_job, [30.0, 0.05], labels=["slow", "fast"]
+        )
+        elapsed = time.monotonic() - start
+        assert results[0] is None and results[1] == {"value": 0.05}
+        assert [r["status"] for r in engine.records] == ["timeout", "ok"]
+        assert engine.records[0]["error"]["type"] == "TimeoutError"
+        assert elapsed < 10.0  # nowhere near the 30s sleep
+
+    def test_injected_hang_hits_the_watchdog(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "hang:1.0@seed=3")
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "30")
+        engine = ExperimentEngine(
+            jobs=2, use_cache=False, retries=0, job_timeout=0.4
+        )
+        results = engine.map(_sleep_job, [0.0, 0.0], labels=["a", "b"])
+        assert results == [None, None]
+        assert all(r["status"] == "timeout" for r in engine.records)
+
+    def test_injected_hang_serial_degrades_to_timeout_status(
+        self, monkeypatch
+    ):
+        """jobs=1 cannot host a real hang (it would hang the test), so
+        the harness degrades it to an InjectedHang exception which the
+        engine still classifies as a timeout."""
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "hang:1.0@seed=3")
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+        results = engine.map(_sleep_job, [0.0], labels=["a"])
+        assert results == [None]
+        assert engine.records[0]["status"] == "timeout"
+
+
+class TestCacheIntegrity:
+    def _seed_cache(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path, use_cache=True)
+        (result,) = engine.map(_square_job, [3], labels=["sq3"])
+        (entry,) = tmp_path.glob("*.json")
+        return result, entry
+
+    def _reload(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path, use_cache=True)
+        (result,) = engine.map(_square_job, [3], labels=["sq3"])
+        return engine, result
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda text: text[: len(text) // 2],          # truncated JSON
+            lambda text: json.dumps({"schema": 999, "result": {}}),
+            lambda text: json.dumps({"schema": CACHE_SCHEMA}),  # no result
+            lambda text: json.dumps(
+                {"schema": CACHE_SCHEMA, "result": "not-a-dict"}
+            ),
+        ],
+        ids=["truncated", "stale-schema", "missing-result", "bad-result"],
+    )
+    def test_bad_entry_quarantined_and_recomputed(self, tmp_path, mangle):
+        first, entry = self._seed_cache(tmp_path)
+        entry.write_text(mangle(entry.read_text()))
+        engine, second = self._reload(tmp_path)
+        assert second == first
+        assert engine.cache_quarantined == 1
+        assert engine.cache_hits == 0 and engine.cache_misses == 1
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [entry.name]
+
+    def test_injected_corruption_round_trip(self, tmp_path, monkeypatch):
+        """corrupt_cache faults poison the write; the validated read
+        quarantines the damage and recomputes bit-identical results."""
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "corrupt_cache:1.0@seed=1"
+        )
+        first, entry = self._seed_cache(tmp_path)
+        with pytest.raises(ValueError):
+            json.loads(entry.read_text())  # really was corrupted
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        engine, second = self._reload(tmp_path)
+        assert second == first == {
+            "value": 9, "simulated_cycles": 10,
+            "committed_instructions": 10,
+        }
+        assert engine.cache_quarantined == 1
+
+
+class TestCrashInjectionSmoke:
+    """Fast smoke of the whole loop: injected crashes at a fixed seed
+    fail exactly the planned jobs, and nothing else."""
+
+    def test_exactly_the_planned_jobs_fail(self, monkeypatch):
+        spec = "crash:0.5@seed=7"
+        monkeypatch.setenv("REPRO_FAULT_INJECT", spec)
+        plan = parse_plan(spec)
+        labels = [f"smoke{i}" for i in range(6)]
+        engine = ExperimentEngine(jobs=2, use_cache=False, retries=2)
+        results = engine.map(_square_job, list(range(6)), labels=labels)
+        expected = [plan.decide("crash", label, 0) for label in labels]
+        assert any(expected) and not all(expected)
+        observed = [r["status"] == "failed" for r in engine.records]
+        assert observed == expected
+        for record, crashed in zip(engine.records, expected):
+            if crashed:
+                assert record["error"]["type"] == "InjectedCrash"
+                assert record["attempts"] == 1  # deterministic: no retry
+        assert [r is None for r in results] == expected
+
+
+class TestInterruptResume:
+    def _interrupting_engine(self, tmp_path, after):
+        calls = []
+
+        def progress(done, total, label):
+            calls.append(label)
+            if done == after:
+                raise KeyboardInterrupt
+
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=True,
+            run_id="test-run", progress=progress,
+        )
+        return engine
+
+    def test_interrupt_checkpoints_then_resume_finishes(self, tmp_path):
+        payloads = list(range(5))
+        labels = [f"sq{i}" for i in payloads]
+
+        engine = self._interrupting_engine(tmp_path, after=2)
+        engine.manifest_path = tmp_path / "partial_manifest.json"
+        with pytest.raises(KeyboardInterrupt):
+            engine.map(_square_job, payloads, labels=labels)
+
+        # Completed jobs hit the cache and journal the moment they
+        # finished; the interrupted rest is recorded as skipped.
+        assert [r["status"] for r in engine.records] == [
+            "ok", "ok", "skipped", "skipped", "skipped",
+        ]
+        assert len(list(tmp_path.glob("*.json"))) == 2 + 1  # + manifest
+        journal = tmp_path / "runs" / "test-run.jsonl"
+        entries = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+        ]
+        assert [e["label"] for e in entries] == ["sq0", "sq1"]
+        assert all(e["status"] == "ok" for e in entries)
+
+        partial = json.loads(engine.manifest_path.read_text())
+        assert partial["schema"] == MANIFEST_SCHEMA
+        assert partial["totals"]["ok"] == 2
+        assert partial["totals"]["skipped"] == 3
+
+        # Resume replays the journal (cache off, to prove the journal
+        # alone suffices) and re-runs only the unfinished jobs.
+        resumed = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=False,
+            run_id="test-run", resume=True,
+        )
+        results = resumed.map(_square_job, payloads, labels=labels)
+        assert results == [
+            {
+                "value": i * i,
+                "simulated_cycles": 10,
+                "committed_instructions": 10,
+            }
+            for i in payloads
+        ]
+        assert resumed.journal_hits == 2
+        assert resumed.cache_misses == 3
+        replayed = [
+            r["cache"] for r in resumed.records
+        ]
+        assert replayed == ["journal", "journal", "miss", "miss", "miss"]
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        journal = tmp_path / "runs" / "torn.jsonl"
+        journal.parent.mkdir(parents=True)
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=False,
+            run_id="probe",
+        )
+        key = engine._cache_key(_square_job, 2)
+        good = json.dumps(
+            {"key": key, "status": "ok", "result": {"value": 4},
+             "wall_s": 0.0}
+        )
+        journal.write_text(good + "\n" + '{"key": "abc", "stat')
+        resumed = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=False,
+            run_id="torn", resume=True,
+        )
+        (result,) = resumed.map(_square_job, [2], labels=["sq2"])
+        # Torn line ignored; the good line belongs to run "torn".
+        assert result["value"] == 4
+        assert resumed.journal_hits == 1
+
+
+class TestBenchmarkSweepAcceptance:
+    """The ISSUE acceptance scenario at quick scale: a crash-injected
+    sweep marks exactly the planned failures in a schema-3 manifest,
+    and --resume with faults off re-runs only the failed jobs,
+    producing results identical to an undisturbed run."""
+
+    def test_faulted_sweep_then_resume_matches_clean_run(
+        self, tmp_path, monkeypatch
+    ):
+        config = RunConfig.quick()
+        names = ["h264ref", "omnetpp"]
+        spec = "crash:0.5@seed=2"  # fails omnetpp@seed1, spares h264ref
+        plan = parse_plan(spec)
+        labels = [
+            f"{name}@seed{seed}"
+            for name in names for seed in config.ref_seeds
+        ]
+        expected_failures = [
+            label for label in labels
+            if plan.decide("crash", label, 0)
+        ]
+        assert expected_failures  # seed chosen so the fault fires
+
+        monkeypatch.setenv("REPRO_FAULT_INJECT", spec)
+        engine = ExperimentEngine(
+            jobs=2, cache_dir=tmp_path, use_cache=True,
+            run_id="sweep", retries=2,
+        )
+        outcomes = engine.run_benchmarks(names, config)
+        manifest = engine.manifest(config)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["engine"]["fault_inject"] == plan.spec()
+        failed_labels = [
+            r["label"] for r in manifest["jobs"]
+            if r["status"] != "ok"
+        ]
+        assert failed_labels == expected_failures
+        by_name = dict(zip(names, outcomes))
+        assert by_name["h264ref"].ok
+        assert not by_name["omnetpp"].ok
+        assert by_name["omnetpp"].status == "failed"
+        assert "InjectedCrash" in by_name["omnetpp"].error
+
+        # Resume with faults off: only the failed job re-runs.
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        resumed = ExperimentEngine(
+            jobs=2, cache_dir=tmp_path, use_cache=False,
+            run_id="sweep", resume=True,
+        )
+        resumed_outcomes = resumed.run_benchmarks(names, config)
+        assert resumed.journal_hits == len(labels) - len(expected_failures)
+        assert resumed.cache_misses == len(expected_failures)
+
+        clean = ExperimentEngine(jobs=1, use_cache=False).run_benchmarks(
+            names, config
+        )
+        for a, b in zip(resumed_outcomes, clean):
+            assert a.ok and b.ok
+            assert a.name == b.name
+            assert a.speedups == b.speedups
+            assert vars(a.metrics) == vars(b.metrics)
+            assert a.converted == b.converted
