@@ -13,12 +13,17 @@ Commands mirror the paper's evaluation artifacts:
 * ``ablations``                   -- design-choice sweeps
 * ``bench <name>``                -- one benchmark, baseline vs decomposed
 * ``timeline <name>``             -- issue-timeline visualisation
+* ``cache``                       -- list/prune ``results/.cache/`` and
+  report the last run's artifact hit/miss counters
 
 All commands accept ``--iterations N`` and ``--seeds K`` to trade fidelity
 for time, ``--jobs N`` to fan simulation jobs over worker processes
 (default: ``REPRO_JOBS`` or every core), ``--no-cache`` to bypass the
-``results/.cache/`` result cache, and ``--profile`` (or ``REPRO_PROFILE=1``)
-to wrap every engine job in cProfile.  Engine-backed commands write a
+``results/.cache/`` result cache, ``--no-trace-cache`` to keep captured
+instruction traces out of ``results/.cache/traces/`` (equivalent to
+``REPRO_TRACE_CACHE=0``; in-process capture/replay still applies), and
+``--profile`` (or ``REPRO_PROFILE=1``) to wrap every engine job in
+cProfile.  Engine-backed commands write a
 machine-readable ``results/run_manifest.json`` (config, per-job timings,
 status/attempts/error, simulated KIPS, cache hit/miss counts) next to the
 regenerated table; profiled runs additionally write
@@ -61,6 +66,9 @@ def _progress(done: int, total: int, label: str) -> None:
 
 def _engine(args) -> ExperimentEngine:
     if args.engine is None:
+        if getattr(args, "no_trace_cache", False):
+            # Via the environment so the switch reaches pool workers.
+            os.environ["REPRO_TRACE_CACHE"] = "0"
         if getattr(args, "profile", False):
             # Via the environment so the switch reaches pool workers, and
             # with the cache off: a cache hit never runs the worker, so a
@@ -215,6 +223,23 @@ def _cmd_bench(args) -> None:
     _finish(args, config)
 
 
+def _cmd_cache(args) -> None:
+    from .experiments import cachectl
+
+    if args.prune or args.max_age_days is not None \
+            or args.max_size_mb is not None:
+        removed = cachectl.prune(
+            max_age_days=args.max_age_days,
+            max_size_mb=args.max_size_mb,
+        )
+        for section, (files, nbytes) in sorted(removed.items()):
+            if files:
+                print(
+                    f"pruned {section}: {files} files, {nbytes} bytes"
+                )
+    print(cachectl.render_report())
+
+
 def _cmd_timeline(args) -> None:
     from .compiler import compile_baseline, compile_decomposed
     from .uarch import render_timeline
@@ -249,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the results/.cache/ result cache",
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="do not persist captured instruction traces to "
+        "results/.cache/traces/ (REPRO_TRACE_CACHE=0); in-process "
+        "capture/replay still applies",
     )
     parser.add_argument(
         "--job-timeout",
@@ -313,6 +345,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench")
     bench.add_argument("name")
     bench.set_defaults(func=_cmd_bench)
+
+    cache = sub.add_parser("cache")
+    cache.add_argument(
+        "--prune",
+        action="store_true",
+        help="delete by the age/size limits below (no limits: no-op)",
+    )
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="with --prune: drop cache files older than D days",
+    )
+    cache.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        metavar="M",
+        help="with --prune: evict oldest files until the cache "
+        "fits in M MiB",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     timeline = sub.add_parser("timeline")
     timeline.add_argument("name")

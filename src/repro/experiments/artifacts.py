@@ -1,0 +1,585 @@
+"""Content-addressed shared artifacts: traces, profiles, compiles.
+
+Every sweep used to re-run the full execute-driven pipeline -- TRAIN
+profiling, compilation, and instruction-by-instruction semantics -- for
+each ``(benchmark, seed, sweep-point)`` job, even though the committed
+instruction stream is invariant across almost every swept knob (see
+:mod:`repro.uarch.trace`).  This module is the capture-once /
+replay-everywhere layer on top of the experiment cache:
+
+* **Traces** (``results/.cache/traces/<key>.trace``): the committed
+  stream of one ``(program content, instruction budget[, predictor])``
+  execution, captured by :func:`simulate_inorder` on first need and
+  replayed (bit-identically) for every later simulation of the same
+  program -- across widths, ports, cache geometry, BTB/RAS/DBB sizing,
+  and (for baseline programs) across direction predictors.
+* **Branch traces** (``.../profiles/<key>.btrace``): the functional
+  TRAIN branch-outcome stream, predictor-independent, shared by every
+  predictor a sensitivity ladder measures it with.
+* **Profiles** (``.../profiles/<key>.json``): the measured per-branch
+  :class:`~repro.branchpred.BranchStats`, keyed additionally by the
+  measuring predictor.
+* **Compiles**: an in-process memo of
+  :func:`~repro.compiler.compile_baseline` /
+  :func:`~repro.compiler.compile_decomposed` outputs keyed by content
+  (``CompilationResult`` holds live IR objects, so this one never
+  touches disk).
+
+All disk artifacts carry integrity validation: traces via the
+checksummed container (:meth:`repro.uarch.trace.Trace.from_bytes`),
+JSON artifacts via schema checks.  Anything unreadable is moved to
+``results/.cache/quarantine/`` -- the same discipline as the result
+cache -- and transparently recomputed.  The fault harness's
+``corrupt_trace`` kind (:mod:`.faults`) writes deliberately truncated
+traces to exercise exactly that path.
+
+Environment knobs:
+
+* ``REPRO_TRACE_CACHE=0``  -- no disk persistence (in-process LRU and
+  capture/replay still apply within a worker).
+* ``REPRO_TRACE_REPLAY=0`` -- the whole artifact fast path off: fully
+  execute-driven simulation, and no shared profile/compile artifacts
+  either -- every job recomputes everything, exactly like the
+  pre-artifact-store pipeline (the before/after lever for
+  ``results/BENCH_trace_replay.json``).
+* ``REPRO_TRACE_LRU_MB``   -- in-process hot-trace LRU budget
+  (default 256 MiB).
+
+Counter semantics (reported per job via :meth:`ArtifactStore.mark` /
+:meth:`ArtifactStore.delta`, aggregated by manifest schema 4):
+``trace_captures`` counts execute-driven capture runs,
+``trace_replays`` counts simulations served from a trace,
+``trace_hits``/``trace_misses`` count store lookups (memory or disk),
+``profile_*``/``btrace_*``/``compile_*`` likewise.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..branchpred import BranchStats, measure_trace
+from ..isa.decode import predecode
+from ..uarch import InOrderCore, MachineConfig, collect_branch_trace
+from ..uarch.ooo import OutOfOrderCore
+from ..uarch.replay import replay_inorder, replay_ooo
+from ..uarch.trace import (
+    Trace,
+    TraceCapture,
+    TraceError,
+    content_digest,
+    predictor_id,
+)
+from . import faults
+
+#: Bump when a JSON artifact layout changes.
+ARTIFACT_SCHEMA = 1
+
+_COUNTER_NAMES = (
+    "trace_hits",
+    "trace_misses",
+    "trace_captures",
+    "trace_replays",
+    "trace_quarantined",
+    "btrace_hits",
+    "btrace_misses",
+    "profile_hits",
+    "profile_misses",
+    "compile_hits",
+    "compile_misses",
+)
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
+def trace_cache_enabled() -> bool:
+    """Disk persistence of traces (``REPRO_TRACE_CACHE``)."""
+    return _env_flag("REPRO_TRACE_CACHE")
+
+
+def replay_enabled() -> bool:
+    """The whole artifact fast path (``REPRO_TRACE_REPLAY``): trace
+    capture/replay plus shared profile/compile artifacts.  Off, every
+    job recomputes everything -- the pre-artifact-store pipeline."""
+    return _env_flag("REPRO_TRACE_REPLAY")
+
+
+def _env_lru_bytes() -> int:
+    raw = os.environ.get("REPRO_TRACE_LRU_MB", "").strip()
+    mb = float(raw) if raw else 256.0
+    return max(0, int(mb * 1024 * 1024))
+
+
+class ArtifactStore:
+    """Content-addressed artifact storage under one cache directory.
+
+    Layout (sharing the result cache's root and quarantine)::
+
+        <cache_dir>/traces/<sha256>.trace
+        <cache_dir>/profiles/<sha256>.btrace
+        <cache_dir>/profiles/<sha256>.json
+        <cache_dir>/quarantine/        <- corrupt artifacts land here
+    """
+
+    def __init__(self, cache_dir: Optional[pathlib.Path] = None) -> None:
+        if cache_dir is None:
+            from .engine import RESULTS_DIR
+
+            cache_dir = pathlib.Path(
+                os.environ.get("REPRO_CACHE_DIR", "")
+                or RESULTS_DIR / ".cache"
+            )
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.traces_dir = self.cache_dir / "traces"
+        self.profiles_dir = self.cache_dir / "profiles"
+        self.quarantine_dir = self.cache_dir / "quarantine"
+        self.counters: Dict[str, int] = {n: 0 for n in _COUNTER_NAMES}
+        #: Hot-trace LRU: key -> Trace, bounded by REPRO_TRACE_LRU_MB.
+        self._trace_lru: "OrderedDict[str, Trace]" = OrderedDict()
+        self._trace_lru_bytes = 0
+        self._lru_budget = _env_lru_bytes()
+        #: In-process memos (never persisted; values hold live objects).
+        self._btrace_memo: Dict[str, List[Tuple[int, bool]]] = {}
+        self._profile_memo: Dict[str, Dict[int, BranchStats]] = {}
+        self._compile_memo: Dict[str, object] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def mark(self) -> Dict[str, int]:
+        """Snapshot the counters (pair with :meth:`delta`)."""
+        return dict(self.counters)
+
+    def delta(self, mark: Dict[str, int]) -> Dict[str, int]:
+        """Counter movement since ``mark`` (zero entries dropped)."""
+        return {
+            name: self.counters[name] - mark.get(name, 0)
+            for name in _COUNTER_NAMES
+            if self.counters[name] != mark.get(name, 0)
+        }
+
+    def _bump(self, name: str, by: int = 1) -> None:
+        self.counters[name] += by
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            return
+        self._bump("trace_quarantined")
+
+    def _write_atomic(self, path: pathlib.Path, blob: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- traces ------------------------------------------------------------
+
+    def _lru_get(self, key: str) -> Optional[Trace]:
+        trace = self._trace_lru.get(key)
+        if trace is not None:
+            self._trace_lru.move_to_end(key)
+        return trace
+
+    def _lru_put(self, key: str, trace: Trace) -> None:
+        if self._lru_budget <= 0:
+            return
+        if key in self._trace_lru:
+            self._trace_lru.move_to_end(key)
+            return
+        self._trace_lru[key] = trace
+        self._trace_lru_bytes += trace.nbytes()
+        while (
+            self._trace_lru_bytes > self._lru_budget
+            and len(self._trace_lru) > 1
+        ):
+            _, evicted = self._trace_lru.popitem(last=False)
+            self._trace_lru_bytes -= evicted.nbytes()
+
+    def load_trace(self, key: str) -> Optional[Trace]:
+        """Memory-first lookup; a corrupt disk trace is quarantined and
+        reported as a miss (the caller recaptures transparently)."""
+        trace = self._lru_get(key)
+        if trace is not None:
+            self._bump("trace_hits")
+            return trace
+        if trace_cache_enabled():
+            path = self.traces_dir / f"{key}.trace"
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                blob = None
+            if blob is not None:
+                try:
+                    trace = Trace.from_bytes(blob)
+                except TraceError:
+                    self._quarantine(path)
+                else:
+                    self._bump("trace_hits")
+                    self._lru_put(key, trace)
+                    return trace
+        self._bump("trace_misses")
+        return None
+
+    def store_trace(self, key: str, trace: Trace) -> None:
+        self._lru_put(key, trace)
+        if not trace_cache_enabled():
+            return
+        blob = trace.to_bytes()
+        if faults.should_corrupt_trace(key):
+            blob = blob[: max(1, len(blob) // 2)]
+        self._write_atomic(self.traces_dir / f"{key}.trace", blob)
+
+    # -- branch traces (functional TRAIN runs) -----------------------------
+
+    def branch_trace(
+        self, program, max_instructions: int
+    ) -> List[Tuple[int, bool]]:
+        """The (predictor-independent) TRAIN branch-outcome stream."""
+        import hashlib
+        import json
+        import zlib
+
+        from .engine import code_version
+
+        if not replay_enabled():
+            self._bump("btrace_misses")
+            return collect_branch_trace(
+                program, max_instructions=max_instructions
+            )
+        key = hashlib.sha256(
+            json.dumps(
+                {
+                    "kind": "btrace",
+                    "schema": ARTIFACT_SCHEMA,
+                    "program": content_digest(program),
+                    "budget": max_instructions,
+                    "code": code_version(),
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()
+        memoed = self._btrace_memo.get(key)
+        if memoed is not None:
+            self._bump("btrace_hits")
+            return memoed
+        path = self.profiles_dir / f"{key}.btrace"
+        if trace_cache_enabled():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                blob = None
+            if blob is not None:
+                try:
+                    payload = json.loads(zlib.decompress(blob))
+                    if payload["schema"] != ARTIFACT_SCHEMA:
+                        raise ValueError("wrong schema")
+                    events = [
+                        (int(b), bool(t))
+                        for b, t in zip(payload["ids"], payload["taken"])
+                    ]
+                    if len(events) != payload["count"]:
+                        raise ValueError("count mismatch")
+                except (ValueError, KeyError, TypeError, zlib.error):
+                    self._quarantine(path)
+                else:
+                    self._bump("btrace_hits")
+                    self._btrace_memo[key] = events
+                    return events
+        self._bump("btrace_misses")
+        events = collect_branch_trace(
+            program, max_instructions=max_instructions
+        )
+        self._btrace_memo[key] = events
+        if trace_cache_enabled():
+            blob = zlib.compress(
+                json.dumps(
+                    {
+                        "schema": ARTIFACT_SCHEMA,
+                        "count": len(events),
+                        "ids": [b for b, _ in events],
+                        "taken": [1 if t else 0 for _, t in events],
+                    }
+                ).encode(),
+                6,
+            )
+            self._write_atomic(path, blob)
+        return events
+
+    # -- measured profiles -------------------------------------------------
+
+    def profile(
+        self,
+        program,
+        max_instructions: int,
+        predictor_factory: Callable,
+    ) -> Dict[int, BranchStats]:
+        """Shared equivalent of :func:`repro.compiler.profile_program`.
+
+        The functional branch trace and the measured statistics are
+        separate artifacts, so a predictor ladder pays for one
+        functional TRAIN run total plus one (cheap) measurement per
+        predictor.  A factory without a stable name (lambda/closure)
+        disables sharing and computes directly.
+        """
+        import hashlib
+        import json
+
+        from .engine import code_version
+
+        pid = predictor_id(predictor_factory)
+        if pid is None or not replay_enabled():
+            self._bump("profile_misses")
+            events = self.branch_trace(program, max_instructions)
+            return measure_trace(events, predictor_factory)
+        key = hashlib.sha256(
+            json.dumps(
+                {
+                    "kind": "profile",
+                    "schema": ARTIFACT_SCHEMA,
+                    "program": content_digest(program),
+                    "budget": max_instructions,
+                    "predictor": pid,
+                    "code": code_version(),
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()
+        memoed = self._profile_memo.get(key)
+        if memoed is not None:
+            self._bump("profile_hits")
+            return memoed
+        path = self.profiles_dir / f"{key}.json"
+        if trace_cache_enabled():
+            try:
+                raw = path.read_text()
+            except OSError:
+                raw = None
+            if raw is not None:
+                try:
+                    payload = json.loads(raw)
+                    if payload["schema"] != ARTIFACT_SCHEMA:
+                        raise ValueError("wrong schema")
+                    profile = {
+                        int(b): BranchStats(
+                            branch_id=int(b),
+                            executions=row[0],
+                            taken=row[1],
+                            correct=row[2],
+                        )
+                        for b, row in payload["stats"].items()
+                    }
+                except (ValueError, KeyError, TypeError, IndexError):
+                    self._quarantine(path)
+                else:
+                    self._bump("profile_hits")
+                    self._profile_memo[key] = profile
+                    return profile
+        self._bump("profile_misses")
+        events = self.branch_trace(program, max_instructions)
+        profile = measure_trace(events, predictor_factory)
+        self._profile_memo[key] = profile
+        if trace_cache_enabled():
+            self._write_atomic(
+                path,
+                json.dumps(
+                    {
+                        "schema": ARTIFACT_SCHEMA,
+                        "stats": {
+                            str(b): [s.executions, s.taken, s.correct]
+                            for b, s in sorted(profile.items())
+                        },
+                    }
+                ).encode(),
+            )
+        return profile
+
+    # -- compiled programs (in-process only) -------------------------------
+
+    def compile(self, memo_key: str, build: Callable[[], object]):
+        """Memoise one compilation by content key.
+
+        ``CompilationResult`` carries live ``Function``/``Program``
+        objects, so this memo is in-process only; with ``jobs=N`` each
+        worker process warms its own.
+        """
+        if not replay_enabled():
+            self._bump("compile_misses")
+            return build()
+        cached = self._compile_memo.get(memo_key)
+        if cached is not None:
+            self._bump("compile_hits")
+            return cached
+        self._bump("compile_misses")
+        result = build()
+        self._compile_memo[memo_key] = result
+        return result
+
+    # -- simulation front doors --------------------------------------------
+
+    def _trace_key(
+        self, program, max_instructions: int, pid: Optional[str]
+    ) -> str:
+        import hashlib
+        import json
+
+        from .engine import code_version
+        from ..uarch.trace import TRACE_SCHEMA
+
+        return hashlib.sha256(
+            json.dumps(
+                {
+                    "kind": "trace",
+                    "schema": TRACE_SCHEMA,
+                    "program": content_digest(program),
+                    "budget": max_instructions,
+                    "predictor": pid,
+                    "code": code_version(),
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()
+
+    def simulate_inorder(
+        self,
+        program,
+        config: MachineConfig,
+        max_instructions: int = 2_000_000,
+    ):
+        """Simulate on the in-order core via the trace fast path.
+
+        First simulation of a program executes once *with capture* and
+        stores the trace; every later simulation -- any width, ports,
+        cache geometry, DBB/BTB/RAS sizing, and (for baseline
+        programs) any predictor -- replays it.  Bit-identical to
+        ``InOrderCore(config).run(program, ...)`` by construction and
+        by the golden/equivalence suites.
+        """
+        if not replay_enabled():
+            return InOrderCore(config).run(
+                program, max_instructions=max_instructions
+            )
+        pid = predictor_id(config.predictor_factory)
+        has_decomposed = predecode(program).has_decomposed
+        if has_decomposed and pid is None:
+            # Unnameable predictor steering a decomposed program: no
+            # safe content address; run execute-driven.
+            return InOrderCore(config).run(
+                program, max_instructions=max_instructions
+            )
+        key = self._trace_key(
+            program, max_instructions, pid if has_decomposed else None
+        )
+        trace = self.load_trace(key)
+        if trace is not None:
+            self._bump("trace_replays")
+            return replay_inorder(program, trace, config)
+        capture = TraceCapture()
+        result = InOrderCore(config).run(
+            program, max_instructions=max_instructions, capture=capture
+        )
+        trace = capture.finish(program, result, max_instructions, pid)
+        self.store_trace(key, trace)
+        self._bump("trace_captures")
+        return result
+
+    def simulate_ooo(
+        self,
+        program,
+        config: MachineConfig,
+        max_instructions: int = 2_000_000,
+        window: int = 64,
+    ):
+        """OOO twin of :meth:`simulate_inorder`.
+
+        The committed stream is core-independent, so an in-order
+        capture replays here too.  On a miss the OOO core (which has
+        no capture hook) just executes; the common caller pattern
+        simulates the in-order core first, which populates the store.
+        """
+        if not replay_enabled():
+            return OutOfOrderCore(config, window=window).run(
+                program, max_instructions=max_instructions
+            )
+        pid = predictor_id(config.predictor_factory)
+        has_decomposed = predecode(program).has_decomposed
+        if has_decomposed and pid is None:
+            return OutOfOrderCore(config, window=window).run(
+                program, max_instructions=max_instructions
+            )
+        key = self._trace_key(
+            program, max_instructions, pid if has_decomposed else None
+        )
+        trace = self.load_trace(key)
+        if trace is not None:
+            self._bump("trace_replays")
+            return replay_ooo(program, trace, config, window=window)
+        return OutOfOrderCore(config, window=window).run(
+            program, max_instructions=max_instructions
+        )
+
+    def peek_trace(
+        self,
+        program,
+        config: MachineConfig,
+        max_instructions: int = 2_000_000,
+    ) -> Optional[Trace]:
+        """The stored trace a :meth:`simulate_inorder` call would replay
+        (without counting a lookup); ``None`` when absent/disabled."""
+        if not replay_enabled():
+            return None
+        pid = predictor_id(config.predictor_factory)
+        has_decomposed = predecode(program).has_decomposed
+        if has_decomposed and pid is None:
+            return None
+        key = self._trace_key(
+            program, max_instructions, pid if has_decomposed else None
+        )
+        trace = self._lru_get(key)
+        if trace is None and trace_cache_enabled():
+            path = self.traces_dir / f"{key}.trace"
+            try:
+                trace = Trace.from_bytes(path.read_bytes())
+            except (OSError, TraceError):
+                return None
+        return trace
+
+
+_DEFAULT_STORE: Optional[ArtifactStore] = None
+_DEFAULT_STORE_DIR: Optional[str] = None
+
+
+def default_store() -> ArtifactStore:
+    """Process-wide store rooted at the engine's cache directory.
+
+    Re-rooted automatically when ``REPRO_CACHE_DIR`` changes (tests
+    repoint it per tmp_path).
+    """
+    global _DEFAULT_STORE, _DEFAULT_STORE_DIR
+    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    if _DEFAULT_STORE is None or _DEFAULT_STORE_DIR != configured:
+        _DEFAULT_STORE = ArtifactStore()
+        _DEFAULT_STORE_DIR = configured
+    return _DEFAULT_STORE
+
+
+def get_store(store: Optional[ArtifactStore] = None) -> ArtifactStore:
+    return store if store is not None else default_store()

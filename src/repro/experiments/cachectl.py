@@ -1,0 +1,217 @@
+"""Housekeeping for the on-disk cache (``repro cache``).
+
+The experiment cache root (``results/.cache/`` or ``REPRO_CACHE_DIR``)
+accumulates four kinds of state:
+
+* ``results`` -- cached job result JSONs in the cache root (the result
+  cache, keyed by job fingerprint);
+* ``runs``    -- per-run checkpoint journals (``runs/<run-id>.jsonl``);
+* ``traces``  -- captured instruction traces (``traces/<key>.trace``);
+* ``profiles`` -- TRAIN branch traces and measured profiles
+  (``profiles/<key>.btrace`` / ``.json``);
+* ``quarantine`` -- artifacts that failed integrity validation.
+
+Everything here is derived state: deleting any of it costs recompute
+time, never correctness (content addressing recaptures on demand).
+:func:`scan` sizes each section; :func:`prune` applies an age cutoff
+and/or a total size budget (oldest files evicted first);
+:func:`artifact_counters` reads the hit/miss counters a schema-4 run
+manifest aggregated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: section name -> (subdirectory or "" for the cache root, glob pattern).
+SECTIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("results", "", "*.json"),
+    ("runs", "runs", "*.jsonl"),
+    ("traces", "traces", "*.trace"),
+    ("profiles", "profiles", "*"),
+    ("quarantine", "quarantine", "*"),
+)
+
+
+def cache_root(cache_dir: Optional[pathlib.Path] = None) -> pathlib.Path:
+    if cache_dir is not None:
+        return pathlib.Path(cache_dir)
+    from .engine import RESULTS_DIR
+
+    return pathlib.Path(
+        os.environ.get("REPRO_CACHE_DIR", "") or RESULTS_DIR / ".cache"
+    )
+
+
+@dataclass
+class SectionStats:
+    name: str
+    files: int = 0
+    bytes: int = 0
+    oldest_age_s: float = 0.0
+    #: (mtime, size, path) per file, for prune ordering.
+    entries: List[Tuple[float, int, pathlib.Path]] = field(
+        default_factory=list
+    )
+
+
+def scan(
+    cache_dir: Optional[pathlib.Path] = None,
+    now: Optional[float] = None,
+) -> Dict[str, SectionStats]:
+    """Size every cache section (missing directories scan as empty)."""
+    root = cache_root(cache_dir)
+    now = time.time() if now is None else now
+    report: Dict[str, SectionStats] = {}
+    for name, subdir, pattern in SECTIONS:
+        stats = SectionStats(name=name)
+        directory = root / subdir if subdir else root
+        if directory.is_dir():
+            for path in sorted(directory.glob(pattern)):
+                if not path.is_file():
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                stats.files += 1
+                stats.bytes += stat.st_size
+                stats.oldest_age_s = max(
+                    stats.oldest_age_s, now - stat.st_mtime
+                )
+                stats.entries.append((stat.st_mtime, stat.st_size, path))
+        report[name] = stats
+    return report
+
+
+def prune(
+    cache_dir: Optional[pathlib.Path] = None,
+    max_age_days: Optional[float] = None,
+    max_size_mb: Optional[float] = None,
+    sections: Optional[Tuple[str, ...]] = None,
+    now: Optional[float] = None,
+) -> Dict[str, Tuple[int, int]]:
+    """Delete cache files by age and/or total-size budget.
+
+    Age first (anything older than ``max_age_days`` goes), then the
+    size budget: if the survivors still exceed ``max_size_mb`` in
+    total, the oldest files across all selected sections are evicted
+    until the total fits.  Returns ``{section: (files, bytes)}``
+    removed.  With neither limit set this is a no-op.
+    """
+    now = time.time() if now is None else now
+    report = scan(cache_dir, now=now)
+    selected = [
+        stats
+        for stats in report.values()
+        if sections is None or stats.name in sections
+    ]
+    removed: Dict[str, Tuple[int, int]] = {
+        stats.name: (0, 0) for stats in selected
+    }
+    survivors: List[Tuple[float, int, pathlib.Path, str]] = []
+    for stats in selected:
+        for mtime, size, path in stats.entries:
+            age_days = (now - mtime) / 86400.0
+            if max_age_days is not None and age_days > max_age_days:
+                _remove(path, stats.name, size, removed)
+            else:
+                survivors.append((mtime, size, path, stats.name))
+    if max_size_mb is not None:
+        budget = int(max_size_mb * 1024 * 1024)
+        total = sum(size for _, size, _, _ in survivors)
+        survivors.sort()  # oldest first
+        for _, size, path, section in survivors:
+            if total <= budget:
+                break
+            _remove(path, section, size, removed)
+            total -= size
+    return removed
+
+
+def _remove(
+    path: pathlib.Path,
+    section: str,
+    size: int,
+    removed: Dict[str, Tuple[int, int]],
+) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        return
+    files, nbytes = removed[section]
+    removed[section] = (files + 1, nbytes + size)
+
+
+def artifact_counters(
+    manifest_path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, int]]:
+    """The ``totals.artifacts`` counters of the last run manifest
+    (schema >= 4), or ``None`` when absent/unreadable/older-schema."""
+    if manifest_path is None:
+        from .engine import RESULTS_DIR
+
+        manifest_path = RESULTS_DIR / "run_manifest.json"
+    try:
+        manifest = json.loads(pathlib.Path(manifest_path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or manifest.get("schema", 0) < 4:
+        return None
+    artifacts = manifest.get("totals", {}).get("artifacts")
+    return artifacts if isinstance(artifacts, dict) else None
+
+
+def _human(nbytes: int) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (
+                f"{int(value)} {unit}"
+                if unit == "B"
+                else f"{value:.1f} {unit}"
+            )
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def render_report(
+    cache_dir: Optional[pathlib.Path] = None,
+    manifest_path: Optional[pathlib.Path] = None,
+) -> str:
+    """Human-readable cache + artifact-counter report."""
+    root = cache_root(cache_dir)
+    report = scan(root)
+    lines = [f"cache root: {root}"]
+    total_files = total_bytes = 0
+    for stats in report.values():
+        total_files += stats.files
+        total_bytes += stats.bytes
+        age = (
+            f", oldest {stats.oldest_age_s / 86400:.1f}d"
+            if stats.files
+            else ""
+        )
+        lines.append(
+            f"  {stats.name:<10} {stats.files:>5} files  "
+            f"{_human(stats.bytes):>10}{age}"
+        )
+    lines.append(
+        f"  {'total':<10} {total_files:>5} files  "
+        f"{_human(total_bytes):>10}"
+    )
+    counters = artifact_counters(manifest_path)
+    if counters:
+        lines.append("last run artifact counters (manifest schema 4):")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<20} {value}")
+    else:
+        lines.append(
+            "no artifact counters (no schema-4 run manifest found)"
+        )
+    return "\n".join(lines)

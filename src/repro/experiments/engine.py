@@ -84,8 +84,10 @@ CACHE_SCHEMA = 1
 #: Manifest layout version (see EXPERIMENTS.md for the schema).
 #: v2 adds committed-instruction counts and simulated-KIPS per job and in
 #: the totals; v3 adds per-job status (ok/failed/timeout/skipped),
-#: attempt counts, failure tracebacks, and the run id / robustness knobs.
-MANIFEST_SCHEMA = 3
+#: attempt counts, failure tracebacks, and the run id / robustness knobs;
+#: v4 adds per-job and total artifact counters (trace capture/replay,
+#: shared profile and compile hits -- see :mod:`.artifacts`).
+MANIFEST_SCHEMA = 4
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
@@ -376,6 +378,19 @@ class ExperimentEngine:
             return 0.0
         return self.total_committed_instructions / wall / 1000.0
 
+    def artifact_totals(self) -> Dict[str, int]:
+        """Sum of per-job artifact counters (see :mod:`.artifacts`).
+
+        Only jobs that actually executed this run contribute
+        (cache/journal hits record ``artifacts: null``), so the totals
+        describe the artifact work *this* run performed.
+        """
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            for name, value in (record.get("artifacts") or {}).items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
     @property
     def failures(self) -> List[Dict]:
         """Records that ended in ``failed``/``timeout`` (not skipped)."""
@@ -418,6 +433,7 @@ class ExperimentEngine:
                 "cache_misses": self.cache_misses,
                 "journal_hits": self.journal_hits,
                 "quarantined": self.cache_quarantined,
+                "artifacts": self.artifact_totals(),
                 "ok": counts["ok"],
                 "failed": counts["failed"],
                 "timeout": counts["timeout"],
@@ -591,8 +607,19 @@ class ExperimentEngine:
         worker: Callable[[Any], Dict],
         payloads: Sequence[Any],
         labels: Optional[Sequence[str]] = None,
+        groups: Optional[Sequence[Any]] = None,
     ) -> List[Optional[Dict]]:
         """Run ``worker`` over every payload; results in payload order.
+
+        ``groups``, when given, is a payload-aligned sequence of
+        hashable artifact-group ids: jobs in one group share
+        content-addressed artifacts (traces/profiles), so the first
+        pending job of each group runs as the *leader* -- it captures
+        and persists the shared artifacts -- and the rest of the group
+        is held back until the leader finishes, then fanned out to
+        replay from the warm store.  Only the parallel path reorders;
+        ``jobs=1`` already runs in payload order.  Result order is
+        unaffected.
 
         ``worker`` must be a top-level function returning a
         JSON-serialisable dict (so results can cross process boundaries
@@ -619,6 +646,14 @@ class ExperimentEngine:
         keys = [self._cache_key(worker, p) for p in payloads]
         states = [_JobState() for _ in range(total)]
         progress_done = [0]
+
+        # Workers resolve the artifact store (traces/profiles) through
+        # REPRO_CACHE_DIR; export this engine's root for the duration of
+        # the call so a test engine on a tmp cache_dir keeps its
+        # artifacts there too (pool workers inherit the environment at
+        # spawn, the serial path reads it directly).
+        previous_root = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(self.cache_dir)
 
         def tick(i: int) -> None:
             progress_done[0] += 1
@@ -649,7 +684,8 @@ class ExperimentEngine:
         try:
             if pending and self.jobs > 1:
                 self._run_supervised(
-                    worker, payloads, labels, keys, states, pending, tick
+                    worker, payloads, labels, keys, states, pending, tick,
+                    groups=groups,
                 )
             elif pending:
                 self._run_serial(
@@ -663,6 +699,11 @@ class ExperimentEngine:
                 except OSError:
                     pass
             raise
+        finally:
+            if previous_root is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous_root
 
         self._finalise(labels, keys, states)
         return [
@@ -762,7 +803,8 @@ class ExperimentEngine:
             self._absorb(i, 0, envelope, labels, keys, states, tick)
 
     def _run_supervised(
-        self, worker, payloads, labels, keys, states, pending, tick
+        self, worker, payloads, labels, keys, states, pending, tick,
+        groups=None,
     ) -> None:
         """Pool execution under supervision.
 
@@ -773,13 +815,30 @@ class ExperimentEngine:
         faults (dead worker process, timeout) requeue with the attempt
         charged and an exponential-backoff-with-jitter delay, while
         innocent jobs caught in a pool kill requeue at no cost.
+
+        Artifact groups (see :meth:`map`): the first pending member of
+        each group enters the queue as leader; the rest wait in
+        ``held`` and are released the moment the leader reaches a
+        terminal status (ok *or* failed -- followers of a failed
+        leader still run, they just find a cold artifact store).
         """
         max_workers = min(self.jobs, len(pending))
         timeout = self.job_timeout
         poll = (
             max(0.01, min(0.1, timeout / 5.0)) if timeout else 0.1
         )
-        queue: List[tuple] = [(i, 0, 0.0) for i in pending]
+        queue: List[tuple] = []
+        held: Dict[Any, List[tuple]] = {}
+        leaders: Dict[Any, int] = {}
+        for i in pending:
+            group = groups[i] if groups is not None else None
+            if group is None:
+                queue.append((i, 0, 0.0))
+            elif group not in leaders:
+                leaders[group] = i
+                queue.append((i, 0, 0.0))
+            else:
+                held.setdefault(group, []).append((i, 0, 0.0))
         outstanding: Dict[Any, tuple] = {}
         pool: Optional[ProcessPoolExecutor] = None
 
@@ -807,7 +866,11 @@ class ExperimentEngine:
             return False
 
         try:
-            while queue or outstanding:
+            while queue or outstanding or held:
+                if held:
+                    for group in list(held):
+                        if states[leaders[group]].status != "pending":
+                            queue.extend(held.pop(group))
                 now = time.monotonic()
                 if pool is None:
                     pool = ProcessPoolExecutor(max_workers=max_workers)
@@ -957,13 +1020,24 @@ class ExperimentEngine:
             if isinstance(result, dict):
                 cycles = result.get("simulated_cycles", 0)
                 committed = result.get("committed_instructions", 0)
+                # Cache/journal hits carry the counters their original
+                # execution recorded, but no artifact work happened in
+                # *this* run -- don't let stale counters inflate the
+                # totals.
+                artifacts = (
+                    result.get("artifacts") or None
+                    if state.source == "miss"
+                    else None
+                )
             else:
                 cycles = 0
                 committed = 0
+                artifacts = None
             wall = state.wall_s
             record = {
                 "label": labels[i],
                 "key": keys[i],
+                "artifacts": artifacts,
                 "cache": (
                     state.source if state.status != "skipped"
                     else "skipped"
@@ -1005,7 +1079,15 @@ class ExperimentEngine:
             for seed in config.ref_seeds
         ]
         labels = [f"{name}@seed{seed}" for name, seed, _ in payloads]
-        results = self.map(_seed_worker, payloads, labels=labels)
+        # Seeds of one benchmark share the TRAIN profile artifact: the
+        # first seed job (leader) computes and persists it, the rest
+        # load it from the store.
+        results = self.map(
+            _seed_worker,
+            payloads,
+            labels=labels,
+            groups=[name for name, _, _ in payloads],
+        )
         records = self._last_records
         per_seed = len(config.ref_seeds)
         outcomes = []

@@ -29,10 +29,14 @@ Kinds:
   which the engine records as a ``timeout``.
 * ``corrupt_cache`` -- the engine writes a truncated cache entry for
   the job: exercises cache validation + quarantine on the next read.
+* ``corrupt_trace`` -- the artifact store writes a truncated trace
+  container (:mod:`.artifacts`): exercises trace checksum validation,
+  quarantine, and transparent recapture on the next load.
 
 Decisions are independent per kind.  ``crash``/``die``/``hang`` hash
 the attempt number too, so a retried job may (deterministically)
-succeed on a later attempt; ``corrupt_cache`` is attempt-independent.
+succeed on a later attempt; ``corrupt_cache``/``corrupt_trace`` are
+attempt-independent.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 #: Recognised fault kinds (see the module docstring).
-FAULT_KINDS = ("crash", "die", "hang", "corrupt_cache")
+FAULT_KINDS = ("crash", "die", "hang", "corrupt_cache", "corrupt_trace")
 
 #: Environment variable holding the fault plan ("" / unset = no faults).
 ENV_VAR = "REPRO_FAULT_INJECT"
@@ -187,3 +191,9 @@ def should_corrupt_cache(label: str) -> bool:
     """Parent-side decision: corrupt this job's cache entry on store?"""
     plan = plan_from_env()
     return plan is not None and plan.decide("corrupt_cache", label)
+
+
+def should_corrupt_trace(key: str) -> bool:
+    """Store-side decision: truncate this trace artifact on write?"""
+    plan = plan_from_env()
+    return plan is not None and plan.decide("corrupt_trace", key)

@@ -8,10 +8,13 @@ best-performing input (Figures 8-13 report both).
 The harness is decomposed into independent *seed jobs* so the parallel
 engine (:mod:`.engine`) can fan them out over worker processes: one job
 (:func:`run_seed`) profiles on TRAIN, compiles for one REF seed, and
-simulates every width.  Each job recomputes the (deterministic) TRAIN
-profile so jobs share no state; :func:`combine_seed_results` reassembles
-them into a :class:`BenchmarkOutcome` in REF-seed order, which makes the
-parallel path byte-identical to ``jobs=1``.
+simulates every width.  The (deterministic) TRAIN profile is shared
+through the content-addressed artifact store (:mod:`.artifacts`) --
+the engine schedules one seed job per benchmark as the group leader so
+the rest load it instead of recomputing -- and the width loop rides
+the trace capture/replay fast path.  :func:`combine_seed_results`
+reassembles jobs into a :class:`BenchmarkOutcome` in REF-seed order,
+which keeps the parallel path byte-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -25,7 +28,8 @@ from ..analysis import (
     geomean_speedup,
     speedup_percent,
 )
-from ..compiler import compile_baseline, compile_decomposed, profile_program
+from ..branchpred import HybridPredictor
+from ..compiler import compile_baseline, compile_decomposed
 from ..core import SelectionConfig, TransformConfig
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig
@@ -124,6 +128,54 @@ class BenchmarkOutcome:
         return max(per_seed.values())
 
 
+def prepare_benchmark(
+    name: str, seed: int, config: RunConfig, store=None
+):
+    """Profile (shared artifact) and compile (memoised) one REF input.
+
+    The TRAIN profile is served from the content-addressed artifact
+    store, so concurrent seed jobs and ``--resume`` runs compute it
+    once; compilations are memoised in-process by content key.  Returns
+    ``(baseline, decomposed)`` :class:`~repro.compiler.CompilationResult`s.
+    """
+    import json
+
+    from .artifacts import get_store
+    from .engine import fingerprint
+
+    store = get_store(store)
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train_func = spec.build(seed=config.train_seed)
+    profile = store.profile(
+        lower(train_func),
+        max_instructions=config.max_instructions,
+        predictor_factory=HybridPredictor,
+    )
+
+    ref_func = spec.build(seed=seed)
+    content = (
+        f"{name}|it={config.iterations}|train={config.train_seed}"
+        f"|ref={seed}|budget={config.max_instructions}"
+    )
+    knobs = json.dumps(
+        fingerprint((config.selection, config.transform)), sort_keys=True
+    )
+    baseline = store.compile(
+        f"baseline|{content}",
+        lambda: compile_baseline(ref_func, profile=profile),
+    )
+    decomposed = store.compile(
+        f"decomposed|{content}|{knobs}",
+        lambda: compile_decomposed(
+            ref_func,
+            profile=profile,
+            selection_config=config.selection,
+            transform_config=config.transform,
+        ),
+    )
+    return baseline, decomposed
+
+
 def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
     """One independent job: TRAIN profile, compile for one REF seed,
     simulate every width.
@@ -133,21 +185,18 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
     reassembly.  Metrics are measured on the table-width runs
     (:meth:`RunConfig.table_width`) so every Table 2 column comes from
     the same 4-wide simulations as the SPD column.
-    """
-    spec = spec_benchmark(name, iterations=config.iterations)
-    train_func = spec.build(seed=config.train_seed)
-    profile = profile_program(
-        lower(train_func), max_instructions=config.max_instructions
-    )
 
-    ref_func = spec.build(seed=seed)
-    baseline = compile_baseline(ref_func, profile=profile)
-    decomposed = compile_decomposed(
-        ref_func,
-        profile=profile,
-        selection_config=config.selection,
-        transform_config=config.transform,
-    )
+    The TRAIN profile comes from the shared artifact store and the
+    width loop runs on the trace fast path: the first width executes
+    with capture, the rest replay the committed stream bit-identically
+    (:mod:`repro.uarch.replay`).  The per-job artifact counter movement
+    is reported under ``"artifacts"`` (manifest schema 4).
+    """
+    from .artifacts import get_store
+
+    store = get_store()
+    mark = store.mark()
+    baseline, decomposed = prepare_benchmark(name, seed, config, store)
 
     metrics_width = config.table_width()
     speedups: Dict[int, float] = {}
@@ -156,11 +205,15 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
     committed_instructions = 0
     for width in config.widths:
         machine = config.machine_for(width)
-        base_run = InOrderCore(machine).run(
-            baseline.program, max_instructions=config.max_instructions
+        base_run = store.simulate_inorder(
+            baseline.program,
+            machine,
+            max_instructions=config.max_instructions,
         )
-        dec_run = InOrderCore(machine).run(
-            decomposed.program, max_instructions=config.max_instructions
+        dec_run = store.simulate_inorder(
+            decomposed.program,
+            machine,
+            max_instructions=config.max_instructions,
         )
         simulated_cycles += base_run.cycles + dec_run.cycles
         committed_instructions += (
@@ -181,6 +234,7 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
         "forward_branches": decomposed.selection.forward_branches,
         "simulated_cycles": simulated_cycles,
         "committed_instructions": committed_instructions,
+        "artifacts": store.delta(mark),
     }
 
 
@@ -216,13 +270,32 @@ def combine_seed_results(
     metrics.spd = geomean_speedup(
         list(speedups[config.table_width()].values())
     )
-    last = seed_results[-1]
+    # Compilation is REF-seed-dependent only through the input data, not
+    # the profile or the selection -- every seed must compile the same
+    # static program shape.  A divergence here means the pipeline is no
+    # longer deterministic; fail loudly rather than silently reporting
+    # the last seed's numbers.
+    first = seed_results[0]
+    for result in seed_results[1:]:
+        if (
+            result["converted"] != first["converted"]
+            or result["forward_branches"] != first["forward_branches"]
+        ):
+            raise AssertionError(
+                f"{name}: compilation diverged across REF seeds: "
+                f"seed {first['seed']} compiled "
+                f"converted={first['converted']}/"
+                f"forward={first['forward_branches']}, seed "
+                f"{result['seed']} compiled "
+                f"converted={result['converted']}/"
+                f"forward={result['forward_branches']}"
+            )
     return BenchmarkOutcome(
         name=name,
         speedups=speedups,
         metrics=metrics,
-        converted=last["converted"],
-        forward_branches=last["forward_branches"],
+        converted=first["converted"],
+        forward_branches=first["forward_branches"],
     )
 
 

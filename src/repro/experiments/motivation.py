@@ -13,10 +13,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..analysis import render_table, speedup_percent
-from ..compiler import compile_baseline, compile_decomposed, profile_program
+from ..branchpred import HybridPredictor
+from ..compiler import compile_baseline, compile_decomposed
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig, OutOfOrderCore
 from ..workloads import spec_benchmark
+from .artifacts import get_store
 from .engine import ExperimentEngine, get_engine
 from .harness import RunConfig
 
@@ -64,29 +66,50 @@ class MotivationResult:
 
 
 def _motivation_job(payload) -> dict:
-    """Both core types over one benchmark's binaries; engine-mappable."""
+    """Both core types over one benchmark's binaries; engine-mappable.
+
+    The committed stream is core-independent, so the in-order runs
+    (which capture) feed the OOO runs (which replay the same traces).
+    """
     name, config, window = payload
+    store = get_store()
+    mark = store.mark()
     machine = config.machine_for(4)
     spec = spec_benchmark(name, iterations=config.iterations)
     train = spec.build(seed=config.train_seed)
     ref = spec.build(seed=config.ref_seeds[0])
-    profile = profile_program(
-        lower(train), max_instructions=config.max_instructions
+    profile = store.profile(
+        lower(train),
+        max_instructions=config.max_instructions,
+        predictor_factory=HybridPredictor,
     )
-    baseline = compile_baseline(ref, profile=profile)
-    decomposed = compile_decomposed(ref, profile=profile)
+    content = (
+        f"motivation|{name}|it={config.iterations}"
+        f"|train={config.train_seed}|ref={config.ref_seeds[0]}"
+        f"|budget={config.max_instructions}"
+    )
+    baseline = store.compile(
+        f"baseline|{content}",
+        lambda: compile_baseline(ref, profile=profile),
+    )
+    decomposed = store.compile(
+        f"decomposed|{content}",
+        lambda: compile_decomposed(ref, profile=profile),
+    )
 
-    io_base = InOrderCore(machine).run(
-        baseline.program, max_instructions=config.max_instructions
+    io_base = store.simulate_inorder(
+        baseline.program, machine, max_instructions=config.max_instructions
     )
-    io_dec = InOrderCore(machine).run(
-        decomposed.program, max_instructions=config.max_instructions
+    io_dec = store.simulate_inorder(
+        decomposed.program, machine, max_instructions=config.max_instructions
     )
-    ooo_base = OutOfOrderCore(machine, window=window).run(
-        baseline.program, max_instructions=config.max_instructions
+    ooo_base = store.simulate_ooo(
+        baseline.program, machine,
+        max_instructions=config.max_instructions, window=window,
     )
-    ooo_dec = OutOfOrderCore(machine, window=window).run(
-        decomposed.program, max_instructions=config.max_instructions
+    ooo_dec = store.simulate_ooo(
+        decomposed.program, machine,
+        max_instructions=config.max_instructions, window=window,
     )
     return {
         "inorder_speedup": speedup_percent(io_base, io_dec),
@@ -100,6 +123,7 @@ def _motivation_job(payload) -> dict:
             io_base.stats.committed + io_dec.stats.committed
             + ooo_base.stats.committed + ooo_dec.stats.committed
         ),
+        "artifacts": store.delta(mark),
     }
 
 
@@ -114,6 +138,7 @@ def run(
         _motivation_job,
         [(name, config, window) for name in benchmarks],
         labels=[f"motivation:{name}" for name in benchmarks],
+        groups=list(benchmarks),
     )
     rows = [
         MotivationRow(

@@ -26,11 +26,12 @@ from ..branchpred import (
     IslTagePredictor,
     TagePredictor,
 )
-from ..compiler import compile_baseline, compile_decomposed, profile_program
+from ..compiler import compile_baseline, compile_decomposed
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig
 from ..workloads import spec_benchmark
-from .engine import ExperimentEngine, get_engine
+from .artifacts import get_store
+from .engine import ExperimentEngine, fingerprint, get_engine
 from .harness import RunConfig
 
 #: The hard-to-predict benchmarks the paper calls out.
@@ -107,32 +108,57 @@ class SensitivityResult:
 
 
 def _sensitivity_job(payload) -> Dict:
-    """One (benchmark, predictor) rung of the ladder; engine-mappable."""
+    """One (benchmark, predictor) rung of the ladder; engine-mappable.
+
+    The functional TRAIN branch stream is predictor-independent and
+    shared through the artifact store, so a whole ladder costs one
+    functional run plus one (cheap) measurement per rung; the baseline
+    program's committed stream is predictor-independent too, so every
+    rung replays the same baseline trace.
+    """
+    import json
+
     name, pred_name, config = payload
     factory = dict(LADDER)[pred_name]
+    store = get_store()
+    mark = store.mark()
     spec = spec_benchmark(name, iterations=config.iterations)
     train = spec.build(seed=config.train_seed)
     ref = spec.build(seed=config.ref_seeds[0])
     # Profile/select with the same predictor the hardware runs:
     # better predictors expose more candidates, as in the paper.
-    profile = profile_program(
+    profile = store.profile(
         lower(train),
-        predictor_factory=factory,
         max_instructions=config.max_instructions,
+        predictor_factory=factory,
     )
-    baseline = compile_baseline(ref, profile=profile)
-    decomposed = compile_decomposed(
-        ref,
-        profile=profile,
-        selection_config=config.selection,
-        transform_config=config.transform,
+    content = (
+        f"sensitivity|{name}|{pred_name}|it={config.iterations}"
+        f"|train={config.train_seed}|ref={config.ref_seeds[0]}"
+        f"|budget={config.max_instructions}"
+    )
+    knobs = json.dumps(
+        fingerprint((config.selection, config.transform)), sort_keys=True
+    )
+    baseline = store.compile(
+        f"baseline|{content}",
+        lambda: compile_baseline(ref, profile=profile),
+    )
+    decomposed = store.compile(
+        f"decomposed|{content}|{knobs}",
+        lambda: compile_decomposed(
+            ref,
+            profile=profile,
+            selection_config=config.selection,
+            transform_config=config.transform,
+        ),
     )
     machine = MachineConfig.paper_default().with_predictor(factory)
-    base_run = InOrderCore(machine).run(
-        baseline.program, max_instructions=config.max_instructions
+    base_run = store.simulate_inorder(
+        baseline.program, machine, max_instructions=config.max_instructions
     )
-    dec_run = InOrderCore(machine).run(
-        decomposed.program, max_instructions=config.max_instructions
+    dec_run = store.simulate_inorder(
+        decomposed.program, machine, max_instructions=config.max_instructions
     )
     total = base_run.stats.cond_branches or 1
     return {
@@ -142,6 +168,7 @@ def _sensitivity_job(payload) -> Dict:
         "committed_instructions": (
             base_run.stats.committed + dec_run.stats.committed
         ),
+        "artifacts": store.delta(mark),
     }
 
 
@@ -158,7 +185,10 @@ def run(
     ]
     labels = [f"sensitivity:{n}:{p}" for n, p, _ in payloads]
     results = get_engine(engine).map(
-        _sensitivity_job, payloads, labels=labels
+        _sensitivity_job,
+        payloads,
+        labels=labels,
+        groups=[n for n, _, _ in payloads],
     )
     points = [
         SensitivityPoint(

@@ -21,12 +21,42 @@ from ..analysis import (
     render_table,
     speedup_percent,
 )
-from ..compiler import compile_baseline, compile_decomposed, profile_program
+from ..branchpred import HybridPredictor
+from ..compiler import compile_baseline, compile_decomposed
 from ..ir import lower
 from ..uarch import InOrderCore, MachineConfig
 from ..workloads import spec_benchmark, suite_benchmarks
+from .artifacts import get_store
 from .engine import ExperimentEngine, get_engine
 from .harness import RunConfig
+
+
+def _compiled(name: str, config: RunConfig, store):
+    """Profile + compile via the artifact store (default knobs, as these
+    studies always use; traces downstream are content-addressed, so
+    they are shared with the main harness runs automatically)."""
+    spec = spec_benchmark(name, iterations=config.iterations)
+    train = spec.build(seed=config.train_seed)
+    ref = spec.build(seed=config.ref_seeds[0])
+    profile = store.profile(
+        lower(train),
+        max_instructions=config.max_instructions,
+        predictor_factory=HybridPredictor,
+    )
+    content = (
+        f"sidefx|{name}|it={config.iterations}"
+        f"|train={config.train_seed}|ref={config.ref_seeds[0]}"
+        f"|budget={config.max_instructions}"
+    )
+    baseline = store.compile(
+        f"baseline|{content}",
+        lambda: compile_baseline(ref, profile=profile),
+    )
+    decomposed = store.compile(
+        f"decomposed|{content}",
+        lambda: compile_decomposed(ref, profile=profile),
+    )
+    return baseline, decomposed
 
 
 @dataclass
@@ -58,20 +88,15 @@ class IssueIncreaseResult:
 def _issue_job(payload) -> dict:
     """Figure 14 datapoint for one benchmark; engine-mappable."""
     name, config = payload
+    store = get_store()
+    mark = store.mark()
     machine = config.machine_for(4)
-    spec = spec_benchmark(name, iterations=config.iterations)
-    train = spec.build(seed=config.train_seed)
-    ref = spec.build(seed=config.ref_seeds[0])
-    profile = profile_program(
-        lower(train), max_instructions=config.max_instructions
+    baseline, decomposed = _compiled(name, config, store)
+    base_run = store.simulate_inorder(
+        baseline.program, machine, max_instructions=config.max_instructions
     )
-    baseline = compile_baseline(ref, profile=profile)
-    decomposed = compile_decomposed(ref, profile=profile)
-    base_run = InOrderCore(machine).run(
-        baseline.program, max_instructions=config.max_instructions
-    )
-    dec_run = InOrderCore(machine).run(
-        decomposed.program, max_instructions=config.max_instructions
+    dec_run = store.simulate_inorder(
+        decomposed.program, machine, max_instructions=config.max_instructions
     )
     return {
         "increase": issued_increase_percent(base_run, dec_run),
@@ -79,6 +104,7 @@ def _issue_job(payload) -> dict:
         "committed_instructions": (
             base_run.stats.committed + dec_run.stats.committed
         ),
+        "artifacts": store.delta(mark),
     }
 
 
@@ -95,6 +121,7 @@ def run_issue_increase(
         _issue_job,
         [(name, config) for name in names],
         labels=[f"fig14:{name}" for name in names],
+        groups=list(names),
     )
     return IssueIncreaseResult(
         values=[
@@ -149,23 +176,24 @@ class ICacheResult:
 
 
 def _icache_job(payload) -> dict:
-    """Section 6.1 datapoint for one benchmark; engine-mappable."""
+    """Section 6.1 datapoint for one benchmark; engine-mappable.
+
+    The I$ geometry is purely a timing knob, so both machine variants
+    replay the same captured baseline trace.
+    """
     name, config = payload
+    store = get_store()
+    mark = store.mark()
     machine_32k = config.machine_for(4)
     machine_24k = machine_32k.with_icache_bytes(24 * 1024)
-    spec = spec_benchmark(name, iterations=config.iterations)
-    train = spec.build(seed=config.train_seed)
-    ref = spec.build(seed=config.ref_seeds[0])
-    profile = profile_program(
-        lower(train), max_instructions=config.max_instructions
+    baseline, decomposed = _compiled(name, config, store)
+    run_32k = store.simulate_inorder(
+        baseline.program, machine_32k,
+        max_instructions=config.max_instructions,
     )
-    baseline = compile_baseline(ref, profile=profile)
-    decomposed = compile_decomposed(ref, profile=profile)
-    run_32k = InOrderCore(machine_32k).run(
-        baseline.program, max_instructions=config.max_instructions
-    )
-    run_24k = InOrderCore(machine_24k).run(
-        baseline.program, max_instructions=config.max_instructions
+    run_24k = store.simulate_inorder(
+        baseline.program, machine_24k,
+        max_instructions=config.max_instructions,
     )
     misses = run_32k.stats.icache_misses or 1
     return {
@@ -179,6 +207,7 @@ def _icache_job(payload) -> dict:
         "committed_instructions": (
             run_32k.stats.committed + run_24k.stats.committed
         ),
+        "artifacts": store.delta(mark),
     }
 
 
@@ -193,6 +222,7 @@ def run_icache(
         _icache_job,
         [(name, config) for name in names],
         labels=[f"sec61:{name}" for name in names],
+        groups=list(names),
     )
     measured = [
         (n, r) for n, r in zip(names, results) if r is not None

@@ -1,5 +1,9 @@
 """Regenerate the paper's Table 2: per-benchmark SPEC 2006 metrics, sorted
-by speedup, 4-wide configuration."""
+by speedup, 4-wide configuration.
+
+Seed jobs share TRAIN profiles and captured traces through the artifact
+store (see :mod:`.harness` / :mod:`.artifacts`), so re-running the table
+after any sweep that covered the same programs is mostly replays."""
 
 from __future__ import annotations
 

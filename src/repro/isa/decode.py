@@ -279,7 +279,7 @@ def _decode_one(pc: int, inst: Instruction) -> Tuple:
 class DecodedProgram:
     """Flat pre-decoded form of one :class:`Program`."""
 
-    __slots__ = ("rows", "length", "source_id")
+    __slots__ = ("rows", "length", "source_id", "has_decomposed")
 
     def __init__(self, program) -> None:
         instructions = program.instructions
@@ -291,6 +291,15 @@ class DecodedProgram:
         #: a mutated Program (new list) re-decodes, an unchanged one
         #: hits the cache.
         self.source_id = id(instructions)
+        #: Whether any PREDICT/RESOLVE row exists.  A program without
+        #: them commits a predictor-independent instruction stream (the
+        #: predictor only steers *timing*), so its execution trace can
+        #: be keyed -- and shared -- across predictor sweeps
+        #: (:mod:`repro.uarch.trace`).
+        self.has_decomposed = any(
+            row[0] == K_PREDICT or row[0] == K_RESOLVE
+            for row in self.rows
+        )
 
 
 def predecode(program) -> DecodedProgram:

@@ -72,6 +72,22 @@ class Memory:
         for offset, value in enumerate(values):
             self.store(base + offset, value)
 
+    @classmethod
+    def from_snapshot(
+        cls, pairs: Iterable[Tuple[int, Value]], faults_suppressed: int = 0
+    ) -> "Memory":
+        """Rebuild a memory from :meth:`snapshot`-shaped pairs.
+
+        The pairs come from a previously validated run (a trace's final
+        state), so this skips the per-word bounds check of
+        :meth:`store` and bulk-loads at C speed -- snapshots can hold
+        hundreds of thousands of words.
+        """
+        memory = cls()
+        memory._words.update(pairs)
+        memory.faults_suppressed = faults_suppressed
+        return memory
+
     def snapshot(self) -> Tuple[Tuple[int, Value], ...]:
         """Sorted (address, value) pairs with zero entries dropped."""
         return tuple(

@@ -11,7 +11,16 @@ from .functional import (
     collect_branch_trace,
     execute,
 )
+from .replay import replay_inorder, replay_ooo
 from .stats import SimStats
+from .trace import (
+    Trace,
+    TraceCapture,
+    TraceError,
+    TraceMismatch,
+    content_digest,
+    predictor_id,
+)
 from .visualize import TraceRow, collect_timeline, render_timeline
 
 __all__ = [
@@ -20,9 +29,17 @@ __all__ = [
     "OutOfOrderCore",
     "MachineConfig",
     "SimStats",
+    "Trace",
+    "TraceCapture",
+    "TraceError",
+    "TraceMismatch",
     "TraceRow",
     "collect_timeline",
+    "content_digest",
+    "predictor_id",
     "render_timeline",
+    "replay_inorder",
+    "replay_ooo",
     "SimulationError",
     "SimulationResult",
     "always_not_taken",

@@ -47,6 +47,13 @@ class TestParser:
 
 
 class TestExecution:
+    @pytest.fixture(autouse=True)
+    def _sandbox_results(self, tmp_path, monkeypatch):
+        """Keep CLI runs from clobbering the committed results/ samples
+        (run_manifest.json) or the shared artifact cache."""
+        monkeypatch.setattr("repro.cli.RESULTS_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / ".cache"))
+
     def test_bench_command(self, capsys):
         assert main(["--iterations", "120", "bench", "omnetpp"]) == 0
         out = capsys.readouterr().out

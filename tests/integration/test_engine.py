@@ -132,9 +132,9 @@ class TestObservability:
             assert record["cache"] in ("hit", "miss")
             assert "h264ref" in record["label"]
 
-    def test_manifest_schema3_health_fields(self, tmp_path):
-        """Schema 3: per-job status/attempts/error plus run identity and
-        robustness knobs in the engine block and health totals."""
+    def test_manifest_schema4_health_fields(self, tmp_path):
+        """Schema 4: per-job status/attempts/error plus run identity,
+        robustness knobs, health totals, and artifact counters."""
         config = RunConfig.quick()
         engine = ExperimentEngine(
             jobs=1, cache_dir=tmp_path, use_cache=True, run_id="m3",
@@ -142,7 +142,7 @@ class TestObservability:
         )
         engine.run_benchmark("h264ref", config)
         manifest = engine.manifest(config)
-        assert manifest["schema"] == 3
+        assert manifest["schema"] == 4
         block = manifest["engine"]
         assert block["run_id"] == "m3"
         assert block["resume"] is False
@@ -154,10 +154,13 @@ class TestObservability:
         assert totals["failed"] == totals["timeout"] == 0
         assert totals["skipped"] == totals["retries_used"] == 0
         assert totals["journal_hits"] == totals["quarantined"] == 0
+        # v4: per-job artifact counters aggregate into the totals.
+        assert totals["artifacts"].get("trace_captures", 0) > 0
         for record in manifest["jobs"]:
             assert record["status"] == "ok"
             assert record["attempts"] == 1
             assert record["error"] is None
+            assert isinstance(record["artifacts"], dict)
         # Every completed job was checkpointed as it finished.
         journal = tmp_path / "runs" / "m3.jsonl"
         assert len(journal.read_text().splitlines()) == len(
