@@ -84,6 +84,112 @@ def test_trace_replay_simulation(benchmark):
     assert replayed.stats == result.stats
 
 
+def _captured_trace(program, machine):
+    capture = TraceCapture()
+    result = InOrderCore(machine).run(
+        program, max_instructions=_MICRO_BUDGET, capture=capture
+    )
+    trace = Trace.from_bytes(
+        capture.finish(
+            program,
+            result,
+            _MICRO_BUDGET,
+            predictor_id(machine.predictor_factory),
+        ).to_bytes()
+    )
+    return result, trace
+
+
+def test_replay_scalar_oracle(benchmark, monkeypatch):
+    """The pre-vectorization replay loop (the PR 4 baseline)."""
+    program, machine = _micro_setup()
+    result, trace = _captured_trace(program, machine)
+    monkeypatch.setenv("REPRO_REPLAY_VECTORIZED", "0")
+    replayed = benchmark(lambda: replay_inorder(program, trace, machine))
+    assert replayed.stats == result.stats
+
+
+def test_replay_vectorized(benchmark, monkeypatch):
+    """The vectorized replay kernel (prep amortised across rounds,
+    exactly as a sweep amortises it across its points)."""
+    program, machine = _micro_setup()
+    result, trace = _captured_trace(program, machine)
+    monkeypatch.delenv("REPRO_REPLAY_VECTORIZED", raising=False)
+    replayed = benchmark(lambda: replay_inorder(program, trace, machine))
+    assert replayed.stats == result.stats
+
+
+def test_replay_vectorized_snapshot(monkeypatch):
+    """Archive scalar vs vectorized replay walls in
+    ``results/BENCH_replay_vectorized.json`` and hold the in-order
+    kernel to the >= 3x target over the scalar baseline."""
+    from repro.uarch import replay_ooo
+
+    program, machine = _micro_setup()
+    result, trace = _captured_trace(program, machine)
+
+    def best_of(fn, reps=7):
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    monkeypatch.setenv("REPRO_REPLAY_VECTORIZED", "0")
+    scalar = best_of(lambda: replay_inorder(program, trace, machine))
+    scalar_ooo = best_of(
+        lambda: replay_ooo(program, trace, machine, window=64)
+    )
+
+    monkeypatch.delenv("REPRO_REPLAY_VECTORIZED")
+    _, cold_trace = _captured_trace(program, machine)
+    start = time.perf_counter()
+    replayed = replay_inorder(program, cold_trace, machine)
+    cold = time.perf_counter() - start
+    assert replayed.stats == result.stats
+    warm = best_of(lambda: replay_inorder(program, trace, machine))
+    warm_ooo = best_of(
+        lambda: replay_ooo(program, trace, machine, window=64)
+    )
+
+    snapshot = {
+        "config": {
+            "workload": "h264ref",
+            "iterations": 120,
+            "max_instructions": _MICRO_BUDGET,
+            "width": 4,
+            "trace_instructions": len(trace.pcs),
+        },
+        "lever": "REPRO_REPLAY_VECTORIZED (0 = scalar oracle loop)",
+        "inorder": {
+            "scalar_ms": round(scalar * 1e3, 2),
+            "vectorized_cold_ms": round(cold * 1e3, 2),
+            "vectorized_warm_ms": round(warm * 1e3, 2),
+            "speedup_cold": round(scalar / cold, 2),
+            "speedup_warm": round(scalar / warm, 2),
+        },
+        "ooo": {
+            "scalar_ms": round(scalar_ooo * 1e3, 2),
+            "vectorized_warm_ms": round(warm_ooo * 1e3, 2),
+            "speedup_warm": round(scalar_ooo / warm_ooo, 2),
+        },
+        "note": (
+            "warm = replay prep cached on the trace, the steady state "
+            "of a sweep replaying one capture across many configs; "
+            "cold pays one precompute pass"
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_replay_vectorized.json").write_text(
+        json.dumps(snapshot, indent=2) + "\n"
+    )
+    assert snapshot["inorder"]["speedup_warm"] >= 3.0, (
+        f"in-order replay speedup {snapshot['inorder']['speedup_warm']}x "
+        "< 3x target"
+    )
+
+
 def _timed_sweep(sweep, tmp_root: pathlib.Path, replay: bool, monkeypatch):
     """One cold run of ``sweep`` with the artifact path on or off."""
     cache_dir = tmp_root / ("replay" if replay else "execute")

@@ -143,7 +143,9 @@ class ArtifactStore:
         self.quarantine_dir = self.cache_dir / "quarantine"
         self.counters: Dict[str, int] = {n: 0 for n in _COUNTER_NAMES}
         #: Hot-trace LRU: key -> Trace, bounded by REPRO_TRACE_LRU_MB.
-        self._trace_lru: "OrderedDict[str, Trace]" = OrderedDict()
+        self._trace_lru: "OrderedDict[str, Tuple[Trace, int]]" = (
+            OrderedDict()
+        )
         self._trace_lru_bytes = 0
         self._lru_budget = _env_lru_bytes()
         #: In-process memos (never persisted; values hold live objects).
@@ -194,25 +196,33 @@ class ArtifactStore:
     # -- traces ------------------------------------------------------------
 
     def _lru_get(self, key: str) -> Optional[Trace]:
-        trace = self._trace_lru.get(key)
-        if trace is not None:
-            self._trace_lru.move_to_end(key)
-        return trace
+        entry = self._trace_lru.get(key)
+        if entry is None:
+            return None
+        self._trace_lru.move_to_end(key)
+        return entry[0]
 
     def _lru_put(self, key: str, trace: Trace) -> None:
         if self._lru_budget <= 0:
             return
-        if key in self._trace_lru:
-            self._trace_lru.move_to_end(key)
-            return
-        self._trace_lru[key] = trace
-        self._trace_lru_bytes += trace.nbytes()
+        # Entries are (trace, bytes charged at put time): eviction must
+        # subtract exactly what was added even if the trace's footprint
+        # changed afterwards (replay prep attaching, for instance).
+        charged = trace.nbytes()
+        previous = self._trace_lru.get(key)
+        if previous is not None:
+            # Replace the stored object (a re-put after transparent
+            # recapture carries fresh data) and recompute accounting.
+            self._trace_lru_bytes -= previous[1]
+        self._trace_lru[key] = (trace, charged)
+        self._trace_lru.move_to_end(key)
+        self._trace_lru_bytes += charged
         while (
             self._trace_lru_bytes > self._lru_budget
             and len(self._trace_lru) > 1
         ):
-            _, evicted = self._trace_lru.popitem(last=False)
-            self._trace_lru_bytes -= evicted.nbytes()
+            _, (_, evicted_bytes) = self._trace_lru.popitem(last=False)
+            self._trace_lru_bytes -= evicted_bytes
 
     def load_trace(self, key: str) -> Optional[Trace]:
         """Memory-first lookup; a corrupt disk trace is quarantined and
@@ -235,6 +245,12 @@ class ArtifactStore:
                 else:
                     self._bump("trace_hits")
                     self._lru_put(key, trace)
+                    try:
+                        # Refresh mtime so age-based pruning (``repro
+                        # cache prune --max-age``) keeps hot traces.
+                        os.utime(path)
+                    except OSError:
+                        pass
                     return trace
         self._bump("trace_misses")
         return None

@@ -29,6 +29,7 @@ Two replay modes per conditional branch:
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import List, Optional
 
@@ -55,6 +56,32 @@ from .trace import Trace, TraceMismatch, content_digest, predictor_id
 _LINE_SHIFT = 6
 
 
+def _vectorized_enabled() -> bool:
+    """The vectorized kernels (:mod:`.replay_vec`) are the default;
+    ``REPRO_REPLAY_VECTORIZED=0`` forces the scalar oracle loops."""
+    raw = os.environ.get("REPRO_REPLAY_VECTORIZED", "").strip().lower()
+    if not raw:
+        return True
+    return raw not in ("0", "false", "no", "off")
+
+
+def _describe(value) -> str:
+    """Render an identity (content digest, predictor id) for an error
+    message: hex digests cleanly shortened to ``head..tail``, anything
+    else (predictor ids, odd metadata) verbatim -- never a truncated
+    repr with a dangling quote."""
+    if value is None:
+        return "<none>"
+    if not isinstance(value, str):
+        return repr(value)
+    is_digest = len(value) >= 32 and all(
+        c in "0123456789abcdef" for c in value
+    )
+    if is_digest:
+        return f"{value[:16]}..{value[-4:]}"
+    return value
+
+
 def _check_and_mode(program, trace: Trace, config: MachineConfig) -> bool:
     """Validate the trace against (program, config); return True for
     recorded-prediction mode, False for live-predictor mode."""
@@ -62,15 +89,16 @@ def _check_and_mode(program, trace: Trace, config: MachineConfig) -> bool:
     if trace.meta.get("program") != digest:
         raise TraceMismatch(
             f"trace was captured from a different program "
-            f"(trace {trace.meta.get('program')!r:.20}, got {digest!r:.20})"
+            f"(trace program {_describe(trace.meta.get('program'))}, "
+            f"requested program {_describe(digest)})"
         )
     pid = predictor_id(config.predictor_factory)
     recorded = pid is not None and trace.meta.get("predictor") == pid
     if not recorded and trace.meta.get("has_decomposed"):
         raise TraceMismatch(
             "a decomposed program's trace is predictor-specific: "
-            f"captured under {trace.meta.get('predictor')!r}, "
-            f"cannot replay under {pid!r}"
+            f"captured under {_describe(trace.meta.get('predictor'))}, "
+            f"cannot replay under {_describe(pid)}"
         )
     return recorded
 
@@ -93,11 +121,34 @@ def replay_inorder(
     trace: Trace,
     config: Optional[MachineConfig] = None,
 ) -> SimulationResult:
-    """Replay ``trace`` on the in-order timing model."""
-    from ..memory import MemoryHierarchy
+    """Replay ``trace`` on the in-order timing model.
 
+    Dispatches to the vectorized kernels (:mod:`.replay_vec`) unless
+    ``REPRO_REPLAY_VECTORIZED=0`` or the kernel declines the trace;
+    either way the result is bit-identical to the scalar loop below,
+    which stays as the golden oracle."""
     config = config or MachineConfig()
     recorded = _check_and_mode(program, trace, config)
+    if _vectorized_enabled():
+        from . import replay_vec
+
+        stats = replay_vec.replay_inorder_stats(
+            program, trace, config, recorded
+        )
+        if stats is not None:
+            return _final_state(program, trace, stats)
+    return _replay_inorder_scalar(program, trace, config, recorded)
+
+
+def _replay_inorder_scalar(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    recorded: bool,
+) -> SimulationResult:
+    """The scalar oracle loop (line-for-line mirror of ``core.py``)."""
+    from ..memory import MemoryHierarchy
+
     stats = SimStats()
     rows = predecode(program).rows
 
@@ -427,10 +478,29 @@ def replay_ooo(
     same architectural semantics in fetch order), so a trace captured
     by the in-order core replays on the OOO model and vice versa.
     """
-    from ..memory import MemoryHierarchy
-
     config = config or MachineConfig()
     recorded = _check_and_mode(program, trace, config)
+    if _vectorized_enabled():
+        from . import replay_vec
+
+        stats = replay_vec.replay_ooo_stats(
+            program, trace, config, recorded, window
+        )
+        if stats is not None:
+            return _final_state(program, trace, stats)
+    return _replay_ooo_scalar(program, trace, config, recorded, window)
+
+
+def _replay_ooo_scalar(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    recorded: bool,
+    window: int,
+) -> SimulationResult:
+    """The scalar oracle loop (line-for-line mirror of ``ooo.py``)."""
+    from ..memory import MemoryHierarchy
+
     stats = SimStats()
     rows = predecode(program).rows
 

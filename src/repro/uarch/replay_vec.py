@@ -1,0 +1,1178 @@
+"""Vectorized trace-replay kernels: precompute everything timing-free.
+
+The scalar replay loops (:mod:`repro.uarch.replay`) re-run the full
+timing machinery one instruction at a time.  The observation this
+module exploits: in recorded-prediction mode every *decision* the loop
+makes -- which instructions touch the I-cache, which cache level each
+access hits, whether a BTB lookup hits, whether the RAS mispredicts a
+return, whether a branch redirects -- is independent of the clock.
+The global cache-access sequence (an instruction access at each fetch
+line change, interleaved with data accesses in stream order,
+instruction-before-data per instruction) is fully determined by the
+trace columns and the predecoded rows alone, because the caches and
+predictors key on addresses, never on cycle numbers.
+
+So replay splits into two halves:
+
+* a **precompute** pass, array-at-a-time with numpy: per-kind index
+  arrays from the predecoded rows, redirect/reset classification,
+  batched predictor bits (recorded bits verbatim; live mode runs the
+  predictor once over the branch column, standalone), a cache-tag
+  pre-pass assigning a hit level to every I-cache/load/store access,
+  and a BTB/RAS re-simulation over just their event streams.  The
+  results are cached on ``trace._prep`` keyed by replay mode, RAS
+  size, cache geometry and BTB size, so a sweep pays once per layer
+  (``Trace.nbytes`` accounts for the cache; the artifact store's LRU
+  sees the footprint).
+* a **serial kernel** that only advances the genuinely
+  clock-coupled state -- fetch cycle/slot arithmetic, the
+  fetch-buffer/window gate, the register scoreboard, the issue-ring
+  search and the miss-buffer heap -- driven by a flat per-stream
+  action-code table instead of predecoded rows.
+
+Straight-line regions between redirects are exactly the stretches
+with no precomputed fetch adjustment (``fetch_add[i] < 0``); the
+kernel's per-instruction work there collapses to list reads and
+integer compares.
+
+Bit-exactness contract: the kernels reproduce the scalar loops'
+``SimStats`` exactly (golden fingerprints in ``tests/golden`` plus
+the equivalence suite in ``tests/uarch``).  Anything the precompute
+cannot prove safe -- empty trace, a HALT anywhere but the stream end,
+column/event count mismatches, a live replay under an unnameable
+predictor factory, degenerate gate sizes -- returns ``None`` and the
+caller falls back to the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..isa.decode import (
+    K_HALT,
+    K_LOAD,
+    K_NOP,
+    K_PREDICT,
+    K_RESOLVE,
+    K_RET,
+    K_BRANCH,
+    K_CALL,
+    K_JMP,
+    K_STORE,
+    predecode,
+)
+from .config import MachineConfig
+from .core import _RING, _RING_MASK
+from .ooo import _RING as _OOO_RING, _RING_MASK as _OOO_RING_MASK
+from .stats import SimStats
+from .trace import Trace, predictor_id
+
+# Per-instruction action codes (uint8 table, one entry per stream
+# position).  The kernels dispatch on these instead of re-deriving
+# kind/outcome from rows and event columns.  Codes >= A_PREDICT_NONE
+# never reach the back end (front-end-only kinds).
+A_ALU = 0
+A_LOAD = 1
+A_STORE = 2
+A_NOP = 3
+A_BR_NONE = 4
+A_BR_TAKEN = 5
+A_BR_MISP = 6
+A_RS_NONE = 7
+A_RS_MISP = 8
+A_JMP = 9
+A_CALL = 10
+A_RET_OK = 11
+A_RET_MISP = 12
+A_PREDICT_NONE = 13
+A_PREDICT_TAKEN = 14
+A_HALT = 15
+
+# Fused kernel codes: stream action codes with the memory and BTB
+# outcomes folded in at prep time, so the serial loop consumes no
+# event iterators at all.  Hit loads carry their found-level latency
+# in the fused ``lat`` column and behave exactly like ALU ops; only
+# genuine misses (heap traffic) keep a dedicated arm.  Codes 4..9 are
+# the contiguous branch/resolve band (resolution-stall accounting);
+# codes >= F_PREDICT_NONE never reach the back end.
+F_ALU = 0
+F_LD_HIT = 1
+F_ST_HIT = 2
+F_JMP = 3
+F_BR_NONE = 4
+F_BR_TAKEN = 5
+F_BR_TAKEN_MISSBTB = 6
+F_BR_MISP = 7
+F_RS_NONE = 8
+F_RS_MISP = 9
+F_LD_MISS = 10
+F_ST_MISS = 11
+F_CALL = 12
+F_RET_OK = 13
+F_RET_MISP = 14
+F_NOP = 15
+F_PREDICT_NONE = 16
+F_PREDICT_TAKEN = 17
+F_PREDICT_TAKEN_MISSBTB = 18
+F_HALT = 19
+
+# Stream-code -> fused-code table (misses/BTB variants patched after).
+_FUSE_LUT = np.array(
+    [
+        F_ALU,            # A_ALU
+        F_LD_HIT,         # A_LOAD (miss positions patched to F_LD_MISS)
+        F_ST_HIT,         # A_STORE (miss positions patched)
+        F_NOP,            # A_NOP
+        F_BR_NONE,        # A_BR_NONE
+        F_BR_TAKEN,       # A_BR_TAKEN (+1 on BTB miss)
+        F_BR_MISP,        # A_BR_MISP
+        F_RS_NONE,        # A_RS_NONE
+        F_RS_MISP,        # A_RS_MISP
+        F_JMP,            # A_JMP
+        F_CALL,           # A_CALL
+        F_RET_OK,         # A_RET_OK
+        F_RET_MISP,       # A_RET_MISP
+        F_PREDICT_NONE,   # A_PREDICT_NONE
+        F_PREDICT_TAKEN,  # A_PREDICT_TAKEN (+1 on BTB miss)
+        F_HALT,           # A_HALT
+    ],
+    np.uint8,
+)
+
+
+class ReplayPrep:
+    """Layered precompute cache attached to one :class:`Trace`.
+
+    Layers and their keys (finer layers reuse coarser ones):
+
+    * ``base``       -- per decoded-rows identity: gathers, positions
+    * ``pred_bits``  -- per mode ("recorded" or ("live", pid))
+    * ``ras_bits``   -- per ``ras_entries``
+    * ``streams``    -- per (mode, ras): action codes, resets, counters
+    * ``mems``       -- per (stream, cache geometry): hit levels
+    * ``btbs``       -- per (core, mode, btb_entries): miss bits
+    """
+
+    __slots__ = (
+        "source_id",
+        "base",
+        "pred_bits",
+        "ras_bits",
+        "streams",
+        "mems",
+        "btbs",
+        "kernels",
+    )
+
+    def __init__(self, source_id: int) -> None:
+        self.source_id = source_id
+        self.base: Optional[Dict] = None
+        self.pred_bits: Dict = {}
+        self.ras_bits: Dict[int, np.ndarray] = {}
+        self.streams: Dict = {}
+        self.mems: Dict = {}
+        self.btbs: Dict = {}
+        self.kernels: Dict = {}
+
+    def nbytes(self) -> int:
+        """Approximate footprint for the artifact store's LRU budget
+        (ndarrays exactly; lists at pointer-size per slot)."""
+
+        def _size(value) -> int:
+            if isinstance(value, np.ndarray):
+                return value.nbytes
+            if isinstance(value, list):
+                return 8 * len(value)
+            if isinstance(value, tuple):
+                return sum(_size(v) for v in value)
+            return 0
+
+        total = 0
+        tables = [self.pred_bits, self.ras_bits, self.btbs]
+        if self.base:
+            tables.append(self.base)
+        tables.extend(self.streams.values())
+        tables.extend(self.mems.values())
+        tables.extend(self.kernels.values())
+        for table in tables:
+            values = table.values() if isinstance(table, dict) else table
+            for value in values:
+                total += _size(value)
+        return total
+
+
+# ------------------------------------------------------------------ layers
+
+
+def _build_base(trace: Trace, decoded) -> Optional[Dict]:
+    """Mode/geometry-independent gathers over the committed stream.
+
+    Returns ``None`` when the trace violates an assumption the
+    vectorized path relies on (the scalar oracle then handles it)."""
+    rows = decoded.rows
+    nrows = len(rows)
+    pcs_np = trace.column("pcs")
+    n = len(pcs_np)
+    if n == 0 or nrows == 0:
+        return None
+
+    kind_by_pc = np.fromiter(
+        (row[0] for row in rows), np.uint8, count=nrows
+    )
+    lat_by_pc = np.fromiter(
+        (row[7] for row in rows), np.int64, count=nrows
+    )
+    fu_by_pc = np.fromiter((row[8] for row in rows), np.uint8, count=nrows)
+    dest_by_pc = np.fromiter(
+        (row[1] if row[1] is not None else 0 for row in rows),
+        np.int64,
+        count=nrows,
+    )
+    hoist_by_pc = np.fromiter(
+        (1 if row[10] else 0 for row in rows), np.uint8, count=nrows
+    )
+    spec_by_pc = np.fromiter(
+        (1 if row[9] else 0 for row in rows), np.uint8, count=nrows
+    )
+
+    kind_s = kind_by_pc[pcs_np]
+    halt_pos = np.flatnonzero(kind_s == K_HALT)
+    if len(halt_pos) and (len(halt_pos) > 1 or halt_pos[0] != n - 1):
+        return None  # HALT anywhere but the end: oracle territory
+    halted = bool(len(halt_pos))
+
+    ld_pos = np.flatnonzero(kind_s == K_LOAD)
+    st_pos = np.flatnonzero(kind_s == K_STORE)
+    br_pos = np.flatnonzero(kind_s == K_BRANCH)
+    rs_pos = np.flatnonzero(kind_s == K_RESOLVE)
+    jmp_pos = np.flatnonzero(kind_s == K_JMP)
+    call_pos = np.flatnonzero(kind_s == K_CALL)
+    ret_pos = np.flatnonzero(kind_s == K_RET)
+    pr_pos = np.flatnonzero(kind_s == K_PREDICT)
+
+    # Event columns must line up with the stream's event counts.
+    if (
+        len(ld_pos) != len(trace.load_addrs)
+        or len(st_pos) != len(trace.store_addrs)
+        or len(br_pos) != len(trace.branch_pred)
+        or len(br_pos) != len(trace.branch_taken)
+        or len(rs_pos) != len(trace.resolve_diverted)
+        or len(ret_pos) != len(trace.ret_targets)
+        or len(pr_pos) != len(trace.predict_taken)
+    ):
+        return None
+
+    spec_mask = spec_by_pc[pcs_np][ld_pos] != 0
+    if int(np.count_nonzero(spec_mask)) != len(trace.load_suppressed):
+        return None
+    sup_per_load = np.zeros(len(ld_pos), np.uint8)
+    sup_per_load[spec_mask] = trace.column("load_suppressed")
+
+    pcs_list = pcs_np.tolist()
+    srcs_by_pc = [row[2] for row in rows]
+    # Scoreboard columns, specialised for the dominant 0/1-source
+    # case: first source (register 64 is a never-written sentinel
+    # whose ready time stays 0) plus the remaining-sources tuple.
+    src0_by_pc = [s[0] if s else 64 for s in srcs_by_pc]
+    rest_by_pc = [s[1:] for s in srcs_by_pc]
+
+    return {
+        "n": n,
+        "pcs_np": pcs_np,
+        "pcs_list": pcs_list,
+        "kind_s": kind_s,
+        # 64-byte fetch lines, fixed shift as in core/replay.
+        "line_s": pcs_np.astype(np.int64) >> 4,
+        "lat_np": lat_by_pc[pcs_np],
+        "fu_list": fu_by_pc[pcs_np].tolist(),
+        "dest_list": dest_by_pc[pcs_np].tolist(),
+        "src0_list": [src0_by_pc[pc] for pc in pcs_list],
+        "rest_list": [rest_by_pc[pc] for pc in pcs_list],
+        "ld_pos": ld_pos,
+        "st_pos": st_pos,
+        "br_pos": br_pos,
+        "rs_pos": rs_pos,
+        "jmp_pos": jmp_pos,
+        "call_pos": call_pos,
+        "ret_pos": ret_pos,
+        "pr_pos": pr_pos,
+        "sup_mask": sup_per_load != 0,
+        "br_pred_np": trace.column("branch_pred"),
+        "br_taken_np": trace.column("branch_taken"),
+        "pr_np": trace.column("predict_taken"),
+        "div_np": trace.column("resolve_diverted"),
+        "load_addrs_np": trace.column("load_addrs"),
+        "store_addrs_np": trace.column("store_addrs"),
+        "ret_targets_list": trace.column("ret_targets").tolist(),
+        "bid_list": [
+            rows[pc][6] for pc in pcs_np[br_pos].tolist()
+        ],
+        "halted": halted,
+        "hoisted": int(np.count_nonzero(hoist_by_pc[pcs_np])),
+        "issued": int(np.count_nonzero(kind_s < K_NOP)),
+        "speculative_loads": int(np.count_nonzero(spec_mask)),
+    }
+
+
+def _pred_bits_for(
+    prep: ReplayPrep, base: Dict, mode_key, config: MachineConfig
+) -> np.ndarray:
+    """Per-branch predicted-taken bits: the recorded column verbatim,
+    or one standalone live-predictor pass over the branch stream (the
+    predictor is history-dependent but self-contained, so the pass
+    runs once and every width/geometry replay reuses its bits)."""
+    bits = prep.pred_bits.get(mode_key)
+    if bits is None:
+        if mode_key == "recorded":
+            bits = base["br_pred_np"]
+        else:
+            predictor = config.predictor_factory()
+            lookup = predictor.lookup
+            update = predictor.update
+            takens = base["br_taken_np"].tolist()
+            out = np.empty(len(takens), np.uint8)
+            for j, (bid, tk) in enumerate(zip(base["bid_list"], takens)):
+                prediction = lookup(bid)
+                update(prediction, tk == 1)
+                out[j] = 1 if prediction.taken else 0
+            bits = out
+        prep.pred_bits[mode_key] = bits
+    return bits
+
+
+def _ras_bits(prep: ReplayPrep, base: Dict, entries: int) -> np.ndarray:
+    """Per-RET mispredict bits from one pass over the CALL/RET event
+    stream (bounded stack, overflow drops the oldest entry,
+    underflow predicts ``None`` -- exactly ``ReturnAddressStack``)."""
+    bits = prep.ras_bits.get(entries)
+    if bits is None:
+        call_pos = base["call_pos"]
+        ret_pos = base["ret_pos"]
+        n_ret = len(ret_pos)
+        bits = np.zeros(n_ret, bool)
+        if n_ret:
+            ev_pos = np.concatenate([call_pos, ret_pos])
+            ev_is_ret = np.concatenate(
+                [
+                    np.zeros(len(call_pos), np.uint8),
+                    np.ones(n_ret, np.uint8),
+                ]
+            )
+            order = np.argsort(ev_pos, kind="stable")
+            positions = ev_pos[order].tolist()
+            is_ret = ev_is_ret[order].tolist()
+            pcs_list = base["pcs_list"]
+            targets = base["ret_targets_list"]
+            stack: List[int] = []
+            missed: List[int] = []
+            ret_i = 0
+            for pos, ret in zip(positions, is_ret):
+                if ret:
+                    predicted = stack.pop() if stack else None
+                    if predicted != targets[ret_i]:
+                        missed.append(ret_i)
+                    ret_i += 1
+                else:
+                    if len(stack) >= entries:
+                        del stack[0]
+                    stack.append(pcs_list[pos] + 1)
+            bits[missed] = True
+        prep.ras_bits[entries] = bits
+    return bits
+
+
+def _build_stream(
+    prep: ReplayPrep, base: Dict, mode_key, ras_entries: int
+) -> Dict:
+    """Action codes, reset classification and vectorized counters for
+    one (prediction mode, RAS size) pair."""
+    n = base["n"]
+    pred = prep.pred_bits[mode_key]
+    taken_np = base["br_taken_np"]
+    misp = pred != taken_np
+    taken_b = taken_np != 0
+    div = base["div_np"] != 0
+    pr_taken = base["pr_np"] != 0
+    ret_misp = _ras_bits(prep, base, ras_entries)
+
+    br_pos = base["br_pos"]
+    rs_pos = base["rs_pos"]
+    ret_pos = base["ret_pos"]
+    pr_pos = base["pr_pos"]
+    jmp_pos = base["jmp_pos"]
+    call_pos = base["call_pos"]
+
+    act = np.full(n, A_ALU, np.uint8)
+    act[base["kind_s"] == K_NOP] = A_NOP
+    act[base["ld_pos"]] = A_LOAD
+    act[base["st_pos"]] = A_STORE
+    act[jmp_pos] = A_JMP
+    act[call_pos] = A_CALL
+    act[br_pos[misp]] = A_BR_MISP
+    act[br_pos[~misp & taken_b]] = A_BR_TAKEN
+    act[br_pos[~misp & ~taken_b]] = A_BR_NONE
+    act[rs_pos[div]] = A_RS_MISP
+    act[rs_pos[~div]] = A_RS_NONE
+    act[ret_pos[ret_misp]] = A_RET_MISP
+    act[ret_pos[~ret_misp]] = A_RET_OK
+    act[pr_pos[pr_taken]] = A_PREDICT_TAKEN
+    act[pr_pos[~pr_taken]] = A_PREDICT_NONE
+    if base["halted"]:
+        act[n - 1] = A_HALT
+
+    # Fetch-line resets (the scalar loops' ``current_line = -1``).
+    reset = np.zeros(n, bool)
+    reset[jmp_pos] = True
+    reset[call_pos] = True
+    reset[ret_pos] = True
+    reset[br_pos] = misp | taken_b
+    reset[rs_pos] = div
+    reset[pr_pos] = pr_taken
+    # Mispredict-window resets (branch/resolve/RET mispredicts): the
+    # under-mispredict flag is consumed by the *next* instruction's
+    # line-change block, which a reset always forces.
+    misp_reset = np.zeros(n, bool)
+    misp_reset[br_pos] = misp
+    misp_reset[rs_pos] = div
+    misp_reset[ret_pos] = ret_misp
+
+    line_s = base["line_s"]
+    acc = np.empty(n, bool)
+    acc[0] = True
+    acc[1:] = reset[:-1] | (line_s[1:] != line_s[:-1])
+    acc_pos = np.flatnonzero(acc)
+    prev_misp = np.zeros(n, bool)
+    prev_misp[1:] = misp_reset[:-1]
+
+    ras_mispredicts = int(np.count_nonzero(ret_misp))
+    br_taken_ok = int(np.count_nonzero(~misp & taken_b))
+    pr_taken_n = int(np.count_nonzero(pr_taken))
+    return {
+        "act_np": act,
+        "acc_pos": acc_pos,
+        "acc_prev_misp": prev_misp[acc_pos],
+        "cond_mispredicts": int(np.count_nonzero(misp)),
+        "resolve_mispredicts": int(np.count_nonzero(div)),
+        "ras_mispredicts": ras_mispredicts,
+        "taken_redirects_inorder": (
+            br_taken_ok
+            + pr_taken_n
+            + len(jmp_pos)
+            + len(call_pos)
+            + (len(ret_pos) - ras_mispredicts)
+        ),
+        "taken_redirects_ooo": br_taken_ok + len(jmp_pos),
+    }
+
+
+def _build_mem(base: Dict, stream: Dict, config: MachineConfig) -> Dict:
+    """Cache-tag pre-pass: walk the merged I-cache/load/store access
+    sequence once (stream order, instruction access before data access
+    at the same position, suppressed loads excluded) and record the
+    hit level of every access.  Level -> latency mapping and the
+    next-line-prefetch decision use this config's latencies, so the
+    result is keyed by the full cache geometry."""
+    h = config.hierarchy
+    shift = h.line_bytes.bit_length() - 1
+    n = base["n"]
+    acc_pos = stream["acc_pos"]
+
+    inst_lines = (
+        base["pcs_np"][acc_pos].astype(np.int64) << 2
+    ) >> shift
+    ld_idx = np.flatnonzero(~base["sup_mask"])
+    ld_lines = (base["load_addrs_np"][ld_idx] << 3) >> shift
+    st_lines = (base["store_addrs_np"] << 3) >> shift
+
+    n_acc = len(acc_pos)
+    n_st = len(st_lines)
+    m_pos = np.concatenate([acc_pos, base["ld_pos"][ld_idx], base["st_pos"]])
+    m_typ = np.concatenate(
+        [
+            np.zeros(n_acc, np.uint8),
+            np.ones(len(ld_idx), np.uint8),
+            np.full(n_st, 2, np.uint8),
+        ]
+    )
+    m_rank = np.concatenate(
+        [np.arange(n_acc), ld_idx, np.arange(n_st)]
+    )
+    m_line = np.concatenate([inst_lines, ld_lines, st_lines])
+    # Primary key: stream position; tiebreak: instruction access (0)
+    # before the same instruction's data access (1/2).
+    order = np.lexsort((m_typ, m_pos))
+    typs = m_typ[order].tolist()
+    ranks = m_rank[order].tolist()
+    lines = m_line[order].tolist()
+
+    def _mk_sets(size: int, assoc: int) -> Tuple[list, int, int]:
+        num_sets = size // (assoc * h.line_bytes)
+        return [[] for _ in range(num_sets)], num_sets, assoc
+
+    l1d, n1d, a1d = _mk_sets(h.l1d_bytes, h.l1d_assoc)
+    l1i, n1i, a1i = _mk_sets(h.l1i_bytes, h.l1i_assoc)
+    l2, n2, a2 = _mk_sets(h.l2_bytes, h.l2_assoc)
+    l3, n3, a3 = _mk_sets(h.l3_bytes, h.l3_assoc)
+
+    def touch(sets: list, num_sets: int, assoc: int, line: int) -> bool:
+        # Cache.access minus the statistics: LRU touch, allocate on miss.
+        ways = sets[line % num_sets]
+        tag = line // num_sets
+        try:
+            position = ways.index(tag)
+        except ValueError:
+            ways.insert(0, tag)
+            if len(ways) > assoc:
+                ways.pop()
+            return False
+        if position:
+            ways.insert(0, ways.pop(position))
+        return True
+
+    def install(sets: list, num_sets: int, assoc: int, line: int) -> None:
+        # Cache.install: insert without LRU promotion on presence.
+        ways = sets[line % num_sets]
+        tag = line // num_sets
+        if tag in ways:
+            return
+        ways.insert(0, tag)
+        if len(ways) > assoc:
+            ways.pop()
+
+    l1_lat = h.l1_latency
+    lat_by_level = (l1_lat, h.l2_latency, h.l3_latency, h.dram_latency)
+    prefetch = h.next_line_prefetch
+
+    inst_level = [0] * n_acc
+    load_level = [-1] * len(base["ld_pos"])  # -1: suppressed, no access
+    store_level = [0] * n_st
+    for typ, rank, line in zip(typs, ranks, lines):
+        if typ == 0:
+            if touch(l1i, n1i, a1i, line):
+                continue  # level 0 already recorded
+            if touch(l2, n2, a2, line):
+                inst_level[rank] = 1
+            elif touch(l3, n3, a3, line):
+                inst_level[rank] = 2
+            else:
+                inst_level[rank] = 3
+        else:
+            if touch(l1d, n1d, a1d, line):
+                level = 0
+            elif touch(l2, n2, a2, line):
+                level = 1
+            elif touch(l3, n3, a3, line):
+                level = 2
+            else:
+                level = 3
+            if lat_by_level[level] > l1_lat and prefetch:
+                install(l1d, n1d, a1d, line + 1)
+                install(l2, n2, a2, line + 1)
+            if typ == 1:
+                load_level[rank] = level
+            else:
+                store_level[rank] = level
+
+    # Instruction-side added latency per access (I$ hits are free).
+    inst_lut = np.array(
+        [0, h.l2_latency, h.l3_latency, h.dram_latency], np.int64
+    )
+    inst_add = inst_lut[np.array(inst_level, np.int64)]
+    # Hits add zero cycles, so the kernels need no hit/no-access
+    # distinction: zero means "keep fetching".
+    fetch_add_np = np.zeros(n, np.int64)
+    fetch_add_np[acc_pos] = inst_add
+    miss_mask = inst_add > 0
+
+    data_lut = np.array(lat_by_level, np.int64)
+    lvl = np.array(load_level, np.int64)
+    load_lat_np = np.where(lvl < 0, l1_lat, data_lut[np.maximum(lvl, 0)])
+    store_lat_np = data_lut[np.array(store_level, np.int64)]
+    return {
+        "fetch_add": fetch_add_np.tolist(),
+        "icache_misses": int(np.count_nonzero(miss_mask)),
+        "icache_under": int(
+            np.count_nonzero(miss_mask & stream["acc_prev_misp"])
+        ),
+        "load_lat_np": load_lat_np,
+        "load_miss_np": load_lat_np > l1_lat,
+        "store_lat_np": store_lat_np,
+        "store_miss_np": store_lat_np > l1_lat,
+    }
+
+
+def _btb_bits(
+    prep: ReplayPrep, base: Dict, core: str, mode_key, entries: int
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """(event positions, miss bit per event, miss total), stream
+    order.  The in-order core consults the BTB for correct-taken
+    branches and taken PREDICTs; the OOO core only for taken PREDICTs.
+    Direct-mapped, tag == pc, insert on miss -- only tag state matters
+    for future lookups."""
+    key = (core, mode_key, entries)
+    cached = prep.btbs.get(key)
+    if cached is None:
+        pr_taken_pos = base["pr_pos"][base["pr_np"] != 0]
+        if core == "inorder":
+            pred = prep.pred_bits[mode_key]
+            taken_ok = (pred == base["br_taken_np"]) & (
+                base["br_taken_np"] != 0
+            )
+            events = np.sort(
+                np.concatenate([base["br_pos"][taken_ok], pr_taken_pos])
+            )
+        else:
+            events = pr_taken_pos
+        mask = entries - 1
+        tags: Dict[int, int] = {}
+        missed: List[int] = []
+        append = missed.append
+        for j, pc in enumerate(base["pcs_np"][events].tolist()):
+            slot = pc & mask
+            if tags.get(slot) != pc:
+                append(j)
+                tags[slot] = pc
+        bits = np.zeros(len(events), bool)
+        bits[missed] = True
+        cached = (events, bits, len(missed))
+        prep.btbs[key] = cached
+    return cached
+
+
+def _build_kernel(
+    base: Dict, stream: Dict, mem: Dict, btb_events: np.ndarray,
+    btb_bits: np.ndarray,
+) -> Dict:
+    """Fuse stream action codes with this geometry's memory outcomes
+    and this core's BTB outcomes into the two columns the serial loop
+    actually reads: a fused action code and a fused latency."""
+    act_k = _FUSE_LUT[stream["act_np"]]
+    act_k[base["ld_pos"][mem["load_miss_np"]]] = F_LD_MISS
+    act_k[base["st_pos"][mem["store_miss_np"]]] = F_ST_MISS
+    # BTB miss variants are one code above their hit counterparts.
+    act_k[btb_events[btb_bits]] += 1
+
+    lat_k = base["lat_np"].copy()
+    # Loads and stores carry their found-level latency; every other
+    # kind keeps its row latency (branch mispredict redirects use it).
+    lat_k[base["ld_pos"]] = mem["load_lat_np"]
+    lat_k[base["st_pos"]] = mem["store_lat_np"]
+    return {"act": act_k.tolist(), "lat": lat_k.tolist()}
+
+
+def _prepare(program, trace: Trace, config: MachineConfig, recorded: bool,
+             core: str):
+    """Assemble (base, stream, mem, btb_bits, btb_misses) for one
+    replay, building/reusing cached layers; ``None`` -> scalar path."""
+    decoded = predecode(program)
+    source_id = id(decoded.rows)
+    prep = trace._prep
+    if prep is None or prep.source_id != source_id:
+        prep = ReplayPrep(source_id)
+        trace._prep = prep
+    if prep.base is None:
+        prep.base = _build_base(trace, decoded) or False
+    base = prep.base
+    if base is False:
+        return None
+
+    if recorded:
+        mode_key = "recorded"
+    else:
+        pid = predictor_id(config.predictor_factory)
+        if pid is None:
+            return None  # unnameable factory: no safe cache key
+        mode_key = ("live", pid)
+    _pred_bits_for(prep, base, mode_key, config)
+
+    stream_key = (mode_key, config.ras_entries)
+    stream = prep.streams.get(stream_key)
+    if stream is None:
+        stream = _build_stream(prep, base, mode_key, config.ras_entries)
+        prep.streams[stream_key] = stream
+
+    h = config.hierarchy
+    geometry = (
+        h.l1d_bytes, h.l1d_assoc, h.l1i_bytes, h.l1i_assoc,
+        h.l2_bytes, h.l2_assoc, h.l3_bytes, h.l3_assoc,
+        h.line_bytes, h.l1_latency, h.l2_latency, h.l3_latency,
+        h.dram_latency, h.next_line_prefetch,
+    )
+    mem_key = (stream_key, geometry)
+    mem = prep.mems.get(mem_key)
+    if mem is None:
+        mem = _build_mem(base, stream, config)
+        prep.mems[mem_key] = mem
+
+    btb_events, btb_bits, btb_misses = _btb_bits(
+        prep, base, core, mode_key, config.btb_entries
+    )
+
+    kernel_key = (core, stream_key, geometry, config.btb_entries)
+    kernel = prep.kernels.get(kernel_key)
+    if kernel is None:
+        kernel = _build_kernel(base, stream, mem, btb_events, btb_bits)
+        prep.kernels[kernel_key] = kernel
+    return base, stream, mem, kernel, btb_misses
+
+
+# ------------------------------------------------------------------ kernels
+
+
+def replay_inorder_stats(
+    program, trace: Trace, config: MachineConfig, recorded: bool
+) -> Optional[SimStats]:
+    """In-order replay over precomputed tables; ``None`` -> use the
+    scalar oracle.  Mirrors ``replay.replay_inorder`` bit-exactly."""
+    if config.fetch_buffer_entries <= 0:
+        return None
+    width = config.width
+    port_caps = (0, config.int_ports, config.mem_ports, config.fp_ports)
+    if width <= 0 or min(port_caps[1:]) <= 0:
+        return None  # degenerate caps: let the scalar loop spin/raise
+    prepared = _prepare(program, trace, config, recorded, "inorder")
+    if prepared is None:
+        return None
+    base, stream, mem, kernel, btb_misses = prepared
+
+    n = base["n"]
+    front_depth = config.front_end_stages
+    fetch_buffer = config.fetch_buffer_entries
+    taken_bubble = config.taken_redirect_bubble
+    miss_bubble = taken_bubble + config.btb_miss_bubble
+    mb_entries = config.hierarchy.miss_buffer_entries
+
+    # In-order issue times are monotone non-decreasing (``prev_issue``
+    # clamp), so occupancy only ever matters at the current issue cycle:
+    # a bump past a full cycle always lands on an empty one, and the
+    # stamped rings of the scalar loop collapse to plain counters.
+    w_t = -1  # cycle the width counter refers to
+    w_cnt = 0
+    p_times = [-1, -1, -1, -1]  # per-FU port counters, indexed by fu
+    p_cnts = [0, 0, 0, 0]
+
+    reg_ready = [0] * 65  # slot 64: the zero-source sentinel
+    reg_from_load = [False] * 65
+
+    heap: List[int] = []  # outstanding data-miss completion times
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    # Fetch-buffer gate as a circular list: once full, the slot about
+    # to be overwritten is the issue time from ``fetch_buffer`` ago.
+    gate_ring = [0] * fetch_buffer
+    gate_pos = 0
+    gate_full = False
+
+    fetch_cycle = 0
+    fetch_slots = 0
+    prev_issue = 0
+    last_cycle = 0
+    load_use_stall = 0
+    resolution_stall = 0
+
+    # Hoist the dispatch constants into locals (the loop reads them
+    # every instruction; LOAD_FAST beats LOAD_GLOBAL).
+    ALU = F_ALU
+    LD_HIT = F_LD_HIT
+    ST_HIT = F_ST_HIT
+    JMP = F_JMP
+    BR_NONE = F_BR_NONE
+    BR_TAKEN = F_BR_TAKEN
+    BR_TAKEN_MISSBTB = F_BR_TAKEN_MISSBTB
+    BR_MISP = F_BR_MISP
+    RS_NONE = F_RS_NONE
+    RS_MISP = F_RS_MISP
+    LD_MISS = F_LD_MISS
+    ST_MISS = F_ST_MISS
+    CALL = F_CALL
+    RET_OK = F_RET_OK
+    PRED_NONE = F_PREDICT_NONE
+    PRED_TAKEN = F_PREDICT_TAKEN
+    PRED_TAKEN_MISSBTB = F_PREDICT_TAKEN_MISSBTB
+
+    for a, add, lat, fu, dest, s0, rest in zip(
+        kernel["act"],
+        mem["fetch_add"],
+        kernel["lat"],
+        base["fu_list"],
+        base["dest_list"],
+        base["src0_list"],
+        base["rest_list"],
+    ):
+        # ---------------- fetch timing ----------------
+        if add:  # I$ miss at a line change (hits add zero)
+            fetch_cycle += add
+            fetch_slots = 0
+        if fetch_slots >= width:
+            fetch_cycle += 1
+            fetch_slots = 0
+        if gate_full:
+            gate = gate_ring[gate_pos]
+            if gate > fetch_cycle:
+                fetch_cycle = gate
+                fetch_slots = 0
+        fetch_slots += 1
+
+        # ------------- front-end-only kinds (PREDICT / HALT) -------
+        if a >= PRED_NONE:
+            if last_cycle < fetch_cycle:
+                last_cycle = fetch_cycle
+            if a == PRED_NONE:
+                continue
+            if a == PRED_TAKEN:
+                fetch_cycle += taken_bubble
+                fetch_slots = 0
+                continue
+            if a == PRED_TAKEN_MISSBTB:
+                fetch_cycle += miss_bubble
+                fetch_slots = 0
+                continue
+            break  # F_HALT
+
+        # ---------------- issue-slot computation ----------------
+        bt0 = fetch_cycle + front_depth
+        base_t = prev_issue if prev_issue > bt0 else bt0
+        if rest:
+            operand_ready = base_t
+            wait_from_load = False
+            ready = reg_ready[s0]
+            if ready > operand_ready:
+                operand_ready = ready
+                wait_from_load = reg_from_load[s0]
+            for reg in rest:
+                ready = reg_ready[reg]
+                if ready > operand_ready:
+                    operand_ready = ready
+                    wait_from_load = reg_from_load[reg]
+            if wait_from_load and operand_ready > base_t:
+                load_use_stall += operand_ready - base_t
+        else:  # 0/1-source fast path (most of the stream)
+            ready = reg_ready[s0]
+            if ready > base_t:
+                operand_ready = ready
+                if reg_from_load[s0]:
+                    load_use_stall += ready - base_t
+            else:
+                operand_ready = base_t
+
+        issue = operand_ready
+        if fu:
+            pt = p_times[fu]
+            pc = p_cnts[fu]
+            if (issue == w_t and w_cnt >= width) or (
+                issue == pt and pc >= port_caps[fu]
+            ):
+                issue += 1  # next cycle is empty: times are monotone
+            if issue == w_t:
+                w_cnt += 1
+            else:
+                w_t = issue
+                w_cnt = 1
+            if issue == pt:
+                p_cnts[fu] = pc + 1
+            else:
+                p_times[fu] = issue
+                p_cnts[fu] = 1
+        prev_issue = issue
+        gate_ring[gate_pos] = issue
+        gate_pos += 1
+        if gate_pos == fetch_buffer:
+            gate_pos = 0
+            gate_full = True
+
+        complete = issue + lat
+
+        # ---------------- re-time (precomputed decisions) --------
+        if a == ALU:
+            reg_ready[dest] = complete
+            reg_from_load[dest] = False
+        elif a == LD_HIT:
+            reg_ready[dest] = complete
+            reg_from_load[dest] = True
+        elif a <= RS_MISP:
+            if a == ST_HIT:
+                complete = issue + 1
+            elif a == JMP:
+                fetch_cycle += taken_bubble
+                fetch_slots = 0
+            else:  # branch / resolve band (BR_NONE..RS_MISP)
+                wait = issue - bt0
+                if wait > 0:
+                    resolution_stall += wait
+                if a == BR_TAKEN:
+                    fetch_cycle += taken_bubble
+                    fetch_slots = 0
+                elif a == BR_MISP or a == RS_MISP:
+                    fetch_cycle = complete + 1
+                    fetch_slots = 0
+                elif a == BR_TAKEN_MISSBTB:
+                    fetch_cycle += miss_bubble
+                    fetch_slots = 0
+                # BR_NONE / RS_NONE: correct, no redirect
+        elif a == LD_MISS:
+            while heap and heap[0] <= issue:
+                heappop(heap)
+            if len(heap) >= mb_entries:
+                complete = heap[0] + lat
+            else:
+                complete = issue + lat
+            heappush(heap, complete)
+            reg_ready[dest] = complete
+            reg_from_load[dest] = True
+        elif a == ST_MISS:
+            while heap and heap[0] <= issue:
+                heappop(heap)
+            if len(heap) >= mb_entries:
+                done = heap[0] + lat
+            else:
+                done = issue + lat
+            heappush(heap, done)
+            complete = issue + 1
+        elif a == CALL:
+            reg_ready[dest] = complete
+            reg_from_load[dest] = False
+            fetch_cycle += taken_bubble
+            fetch_slots = 0
+        elif a == RET_OK:
+            fetch_cycle += taken_bubble
+            fetch_slots = 0
+        else:  # RET_MISP or NOP
+            if a != F_NOP:
+                fetch_cycle = complete + 1
+                fetch_slots = 0
+
+        if complete > last_cycle:
+            last_cycle = complete
+
+    return SimStats.from_counts(
+        cycles=last_cycle + 1,
+        committed=n,
+        issued=base["issued"],
+        fetched=n,
+        loads=len(base["ld_pos"]),
+        stores=len(base["st_pos"]),
+        load_use_stall_cycles=load_use_stall,
+        cond_branches=len(base["br_pos"]),
+        cond_mispredicts=stream["cond_mispredicts"],
+        taken_redirects=stream["taken_redirects_inorder"],
+        btb_miss_bubbles=btb_misses,
+        predicts=len(base["pr_pos"]),
+        resolves=len(base["rs_pos"]),
+        resolve_mispredicts=stream["resolve_mispredicts"],
+        resolution_stall_cycles=resolution_stall,
+        hoisted_committed=base["hoisted"],
+        speculative_loads=base["speculative_loads"],
+        ras_mispredicts=stream["ras_mispredicts"],
+        icache_misses=mem["icache_misses"],
+        icache_misses_under_mispredict=mem["icache_under"],
+        halted=base["halted"],
+    )
+
+
+def replay_ooo_stats(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    recorded: bool,
+    window: int,
+) -> Optional[SimStats]:
+    """OOO replay over precomputed tables; ``None`` -> scalar oracle.
+    Mirrors ``replay.replay_ooo`` bit-exactly (hardcoded one-cycle
+    redirect bubbles, BTB consulted only by PREDICT, no prev-issue
+    clamp, completion-window gate)."""
+    if window <= 0:
+        return None
+    prepared = _prepare(program, trace, config, recorded, "ooo")
+    if prepared is None:
+        return None
+    base, stream, mem, kernel, _ = prepared
+
+    n = base["n"]
+    width = config.width
+    front_depth = config.front_end_stages
+    port_caps = (0, config.int_ports, config.mem_ports, config.fp_ports)
+    mb_entries = config.hierarchy.miss_buffer_entries
+
+    issued_cnt = [0] * _OOO_RING
+    issued_stamp = [-1] * _OOO_RING
+    port_cnt = (None, [0] * _OOO_RING, [0] * _OOO_RING, [0] * _OOO_RING)
+    port_stamp = (
+        None, [-1] * _OOO_RING, [-1] * _OOO_RING, [-1] * _OOO_RING,
+    )
+
+    reg_ready = [0] * 65  # slot 64: the zero-source sentinel
+
+    heap: List[int] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    # Completion-window gate: once full, the slot about to be
+    # overwritten is the completion time from ``window`` ago.
+    win_ring = [0] * window
+    win_pos = 0
+    win_full = False
+
+    fetch_cycle = 0
+    fetch_slots = 0
+    last_cycle = 0
+    resolution_stall = 0
+
+    ALU = F_ALU
+    LD_HIT = F_LD_HIT
+    ST_HIT = F_ST_HIT
+    JMP = F_JMP
+    BR_NONE = F_BR_NONE
+    BR_TAKEN = F_BR_TAKEN
+    BR_MISP = F_BR_MISP
+    RS_MISP = F_RS_MISP
+    LD_MISS = F_LD_MISS
+    ST_MISS = F_ST_MISS
+    CALL = F_CALL
+    RET_OK = F_RET_OK
+    PRED_NONE = F_PREDICT_NONE
+    PRED_TAKEN = F_PREDICT_TAKEN
+    PRED_TAKEN_MISSBTB = F_PREDICT_TAKEN_MISSBTB
+
+    for a, add, lat, fu, dest, s0, rest in zip(
+        kernel["act"],
+        mem["fetch_add"],
+        kernel["lat"],
+        base["fu_list"],
+        base["dest_list"],
+        base["src0_list"],
+        base["rest_list"],
+    ):
+        # ---- fetch (same model as the in-order core) ----
+        if add:
+            fetch_cycle += add
+            fetch_slots = 0
+        if fetch_slots >= width:
+            fetch_cycle += 1
+            fetch_slots = 0
+        if win_full:
+            gate = win_ring[win_pos]
+            if gate > fetch_cycle:
+                fetch_cycle = gate
+                fetch_slots = 0
+        fetch_slots += 1
+
+        if a >= PRED_NONE:
+            if a == PRED_NONE:
+                continue
+            if a == PRED_TAKEN:
+                fetch_cycle += 1
+                fetch_slots = 0
+                continue
+            if a == PRED_TAKEN_MISSBTB:
+                fetch_cycle += 2
+                fetch_slots = 0
+                continue
+            break  # F_HALT
+
+        # ---- dataflow issue: operands + a free port, no ordering ----
+        base_t = fetch_cycle + front_depth
+        ready = reg_ready[s0]
+        operand_ready = ready if ready > base_t else base_t
+        if rest:
+            for reg in rest:
+                ready = reg_ready[reg]
+                if ready > operand_ready:
+                    operand_ready = ready
+
+        t = operand_ready
+        if fu:
+            cap = port_caps[fu]
+            pcnt = port_cnt[fu]
+            pstamp = port_stamp[fu]
+            while True:
+                slot = t & _OOO_RING_MASK
+                have = issued_cnt[slot] if issued_stamp[slot] == t else 0
+                if have >= width:
+                    t += 1
+                    continue
+                used = pcnt[slot] if pstamp[slot] == t else 0
+                if used >= cap:
+                    t += 1
+                    continue
+                break
+            issued_stamp[slot] = t
+            issued_cnt[slot] = have + 1
+            pstamp[slot] = t
+            pcnt[slot] = used + 1
+        issue = t
+        if BR_NONE <= a <= RS_MISP:  # branch or resolve
+            wait = issue - base_t
+            if wait > 0:
+                resolution_stall += wait
+
+        complete = issue + lat
+
+        # ---- re-time (precomputed decisions) ----
+        if a == ALU or a == LD_HIT:
+            reg_ready[dest] = complete
+        elif a == ST_HIT:
+            complete = issue + 1
+        elif a == LD_MISS:
+            while heap and heap[0] <= issue:
+                heappop(heap)
+            if len(heap) >= mb_entries:
+                complete = heap[0] + lat
+            else:
+                complete = issue + lat
+            heappush(heap, complete)
+            reg_ready[dest] = complete
+        elif a == ST_MISS:
+            while heap and heap[0] <= issue:
+                heappop(heap)
+            if len(heap) >= mb_entries:
+                done = heap[0] + lat
+            else:
+                done = issue + lat
+            heappush(heap, done)
+            complete = issue + 1
+        elif a == BR_TAKEN or a == JMP or a == RET_OK:
+            fetch_cycle = fetch_cycle + 1
+            fetch_slots = 0
+        elif a == BR_MISP or a == RS_MISP or a == F_RET_MISP:
+            fetch_cycle = complete + 1
+            fetch_slots = 0
+        elif a == CALL:
+            reg_ready[dest] = complete
+            fetch_cycle = fetch_cycle + 1
+            fetch_slots = 0
+        # F_NOP / BR_NONE / RS_NONE / BR_TAKEN_MISSBTB never redirect
+        # (the OOO BTB event set is PREDICTs only, so the TAKEN_MISSBTB
+        # code cannot appear in an OOO kernel).
+
+        win_ring[win_pos] = complete
+        win_pos += 1
+        if win_pos == window:
+            win_pos = 0
+            win_full = True
+        if complete > last_cycle:
+            last_cycle = complete
+
+    return SimStats.from_counts(
+        cycles=last_cycle + 1,
+        committed=n,
+        issued=base["issued"],
+        fetched=n,
+        loads=len(base["ld_pos"]),
+        stores=len(base["st_pos"]),
+        cond_branches=len(base["br_pos"]),
+        cond_mispredicts=stream["cond_mispredicts"],
+        taken_redirects=stream["taken_redirects_ooo"],
+        predicts=len(base["pr_pos"]),
+        resolves=len(base["rs_pos"]),
+        resolve_mispredicts=stream["resolve_mispredicts"],
+        resolution_stall_cycles=resolution_stall,
+        hoisted_committed=base["hoisted"],
+        speculative_loads=base["speculative_loads"],
+        ras_mispredicts=stream["ras_mispredicts"],
+        icache_misses=mem["icache_misses"],
+        halted=base["halted"],
+    )

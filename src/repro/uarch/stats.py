@@ -80,3 +80,13 @@ class SimStats:
 
     def count_opcode(self, name: str) -> None:
         self.by_opcode[name] = self.by_opcode.get(name, 0) + 1
+
+    @classmethod
+    def from_counts(cls, **counts) -> "SimStats":
+        """Build a stats object from keyword totals.
+
+        The vectorized replay kernels (:mod:`repro.uarch.replay_vec`)
+        derive most counters array-at-a-time instead of incrementing
+        them per instruction; this materialises their totals with
+        unnamed fields left at the dataclass defaults."""
+        return cls(**counts)

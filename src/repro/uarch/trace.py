@@ -54,6 +54,8 @@ import zlib
 from array import array
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..isa.decode import K_PREDICT, K_RESOLVE, predecode
 
 #: Bump when the trace container layout or column semantics change.
@@ -207,22 +209,66 @@ class TraceCapture:
         )
 
 
-class Trace:
-    """Immutable captured instruction stream plus final state."""
+#: numpy dtype per column typecode (the bit columns are 0/1-per-byte
+#: bytearrays, viewed as uint8).
+_NP_DTYPES = {"i": np.int32, "q": np.int64, "bits": np.uint8}
 
-    __slots__ = ("meta",) + tuple(name for name, _ in _COLUMNS)
+
+class Trace:
+    """Immutable captured instruction stream plus final state.
+
+    Besides the raw ``array``/``bytearray`` columns, a trace lazily
+    exposes zero-copy numpy *views* of each column (:meth:`column`) and
+    carries a replay-preparation cache (``repro.uarch.replay_vec``
+    stores its precomputed kind-index/redirect/cache-level arrays here
+    so one trace replayed across a whole sweep pays for the
+    vectorized precompute once).  Both are derived state: they never
+    change the captured stream, and :meth:`nbytes` accounts for them
+    so the artifact store's LRU budget sees the true footprint.
+    """
+
+    __slots__ = ("meta", "_views", "_prep") + tuple(
+        name for name, _ in _COLUMNS
+    )
 
     def __init__(self, meta: Dict, **columns) -> None:
         self.meta = meta
         for name, _ in _COLUMNS:
             setattr(self, name, columns[name])
+        #: name -> cached numpy view of the column buffer (zero-copy).
+        self._views: Dict[str, np.ndarray] = {}
+        #: Replay precompute cache (owned by repro.uarch.replay_vec).
+        self._prep = None
 
     @property
     def committed(self) -> int:
         return len(self.pcs)
 
+    def column(self, name: str) -> np.ndarray:
+        """Zero-copy numpy view of one column.
+
+        ``array('i')``/``array('q')`` columns view as int32/int64; the
+        0/1-per-byte bit columns view as uint8.  Views share the
+        column's buffer -- they cost no extra memory and stay valid for
+        the trace's lifetime (columns are never mutated after capture).
+        """
+        view = self._views.get(name)
+        if view is None:
+            for cname, typecode in _COLUMNS:
+                if cname == name:
+                    view = np.frombuffer(
+                        getattr(self, name), dtype=_NP_DTYPES[typecode]
+                    )
+                    break
+            else:
+                raise KeyError(name)
+            self._views[name] = view
+        return view
+
     def nbytes(self) -> int:
-        """In-memory payload size (for LRU budgeting)."""
+        """In-memory footprint (for LRU budgeting): raw columns plus
+        any replay-preparation arrays cached on the trace.  Column
+        views are zero-copy and cost nothing extra."""
         total = 0
         for name, typecode in _COLUMNS:
             column = getattr(self, name)
@@ -230,6 +276,9 @@ class Trace:
                 total += len(column)
             else:
                 total += len(column) * column.itemsize
+        prep = self._prep
+        if prep is not None:
+            total += prep.nbytes()
         return total
 
     def max_outstanding_predicts(self, program) -> int:
@@ -239,18 +288,23 @@ class Trace:
         (PREDICT), floor-at-zero decrement per resolve -- the DBB's
         occupancy statistic is independent of its size, so the
         ablation sweep reads it off the trace instead of the core.
+        Computed array-at-a-time: the reflected-at-zero running sum
+        ``o_i = c_i - min(0, min_{j<=i} c_j)`` of the +1/-1 event
+        deltas, so the peak falls out of two accumulations.
         """
         rows = predecode(program).rows
-        outstanding = 0
-        peak = 0
-        for pc in self.pcs:
-            kind = rows[pc][0]
-            if kind == K_PREDICT:
-                outstanding += 1
-                if outstanding > peak:
-                    peak = outstanding
-            elif kind == K_RESOLVE:
-                outstanding = max(outstanding - 1, 0)
+        if not len(self.pcs):
+            return 0
+        kind_by_pc = np.fromiter(
+            (row[0] for row in rows), dtype=np.int8, count=len(rows)
+        )
+        kinds = kind_by_pc[self.column("pcs")]
+        delta = np.zeros(len(kinds), dtype=np.int64)
+        delta[kinds == K_PREDICT] = 1
+        delta[kinds == K_RESOLVE] = -1
+        walk = np.cumsum(delta)
+        floor = np.minimum(np.minimum.accumulate(walk), 0)
+        peak = int(np.max(walk - floor, initial=0))
         return peak
 
     # -------------------------------------------------------- serialisation
@@ -359,18 +413,13 @@ class Trace:
 
 def _pack_bits(bits: bytearray) -> bytes:
     """Pack a 0/1-per-byte column into 8 bits per byte (LSB first)."""
-    packed = bytearray((len(bits) + 7) >> 3)
-    for i, bit in enumerate(bits):
-        if bit:
-            packed[i >> 3] |= 1 << (i & 7)
-    return bytes(packed)
+    flags = np.frombuffer(bits, dtype=np.uint8)
+    return np.packbits(flags, bitorder="little").tobytes()
 
 
 def _unpack_bits(raw: bytes, count: int) -> bytearray:
     if len(raw) != (count + 7) >> 3:
         raise TraceError("bit column length mismatch")
-    bits = bytearray(count)
-    for i in range(count):
-        if raw[i >> 3] & (1 << (i & 7)):
-            bits[i] = 1
-    return bits
+    packed = np.frombuffer(raw, dtype=np.uint8)
+    flags = np.unpackbits(packed, count=count, bitorder="little")
+    return bytearray(flags.tobytes())

@@ -344,3 +344,136 @@ class TestCacheCtl:
         out = capsys.readouterr().out
         assert "pruned traces: 1 files" in out
         assert not (tmp_path / "traces" / "t.trace").exists()
+
+
+class TestTraceLru:
+    """In-process hot-trace LRU: replacement, byte accounting, the
+    ``REPRO_TRACE_LRU_MB`` knob, and mtime refresh on disk hits."""
+
+    @staticmethod
+    def _trace_for(program, machine, budget):
+        from repro.uarch import InOrderCore, Trace, TraceCapture
+        from repro.uarch.trace import predictor_id
+
+        capture = TraceCapture()
+        result = InOrderCore(machine).run(
+            program, max_instructions=budget, capture=capture
+        )
+        return Trace.from_bytes(
+            capture.finish(
+                program,
+                result,
+                budget,
+                predictor_id(machine.predictor_factory),
+            ).to_bytes()
+        )
+
+    def test_reput_replaces_object_and_recharges(self, store):
+        """A re-put under an existing key (transparent recapture) must
+        swap in the fresh Trace and keep byte accounting exact."""
+        config, baseline, _ = _quick_programs()
+        machine = config.machine_for(4)
+        stale = self._trace_for(baseline, machine, 2_000)
+        fresh = self._trace_for(baseline, machine, config.max_instructions)
+        assert stale.nbytes() != fresh.nbytes()
+        store._lru_put("k", stale)
+        store._lru_put("k", fresh)
+        assert store._lru_get("k") is fresh
+        assert store._trace_lru_bytes == fresh.nbytes()
+
+    def test_eviction_subtracts_put_time_charge(self, store, monkeypatch):
+        """A trace whose footprint grows *after* the put (replay prep
+        attaching) must not drive the accounting negative on evict."""
+        from repro.experiments.artifacts import ArtifactStore
+        from repro.uarch import replay_inorder
+
+        config, baseline, _ = _quick_programs()
+        machine = config.machine_for(4)
+        trace = self._trace_for(baseline, machine, config.max_instructions)
+        monkeypatch.setenv("REPRO_TRACE_LRU_MB", "0.01")
+        tiny = ArtifactStore(cache_dir=store.cache_dir)
+        tiny._lru_put("a", trace)
+        charged = trace.nbytes()
+        replay_inorder(baseline, trace, machine)  # attaches prep
+        assert trace.nbytes() > charged
+        other = self._trace_for(baseline, machine, 2_000)
+        tiny._lru_put("b", other)  # evicts "a" (over budget)
+        assert tiny._lru_get("a") is None
+        assert tiny._lru_get("b") is other
+        assert tiny._trace_lru_bytes == other.nbytes()
+
+    def test_oversized_single_trace_does_not_wedge(self, store, monkeypatch):
+        """One trace larger than the whole budget stays resident (the
+        len > 1 guard) instead of wedging the eviction loop."""
+        from repro.experiments.artifacts import ArtifactStore
+
+        config, baseline, _ = _quick_programs()
+        machine = config.machine_for(4)
+        trace = self._trace_for(baseline, machine, config.max_instructions)
+        monkeypatch.setenv("REPRO_TRACE_LRU_MB", "0.000001")
+        tiny = ArtifactStore(cache_dir=store.cache_dir)
+        assert 0 < tiny._lru_budget < trace.nbytes()
+        tiny._lru_put("big", trace)
+        assert tiny._lru_get("big") is trace
+        assert tiny._trace_lru_bytes == trace.nbytes()
+
+    def test_lru_disabled_bypasses_memory_not_disk(self, tmp_path, monkeypatch):
+        """``REPRO_TRACE_LRU_MB=0``: no in-process caching, but disk
+        persistence and the hit/miss counters still behave."""
+        from repro.experiments.artifacts import ArtifactStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_LRU_MB", "0")
+        store = ArtifactStore(cache_dir=tmp_path)
+        config, baseline, _ = _quick_programs()
+        machine = config.machine_for(4)
+        mark = store.mark()
+        first = store.simulate_inorder(
+            baseline, machine, max_instructions=config.max_instructions
+        )
+        assert store.delta(mark).get("trace_captures") == 1
+        assert not store._trace_lru
+        assert store._trace_lru_bytes == 0
+        mark = store.mark()
+        second = store.simulate_inorder(
+            baseline, machine, max_instructions=config.max_instructions
+        )
+        delta = store.delta(mark)
+        assert delta.get("trace_replays") == 1
+        assert delta.get("trace_hits") == 1
+        assert "trace_captures" not in delta
+        assert not store._trace_lru
+        assert first.stats == second.stats
+
+    def test_lru_budget_defaults_when_unset(self, tmp_path, monkeypatch):
+        from repro.experiments.artifacts import ArtifactStore, _env_lru_bytes
+
+        monkeypatch.delenv("REPRO_TRACE_LRU_MB", raising=False)
+        assert _env_lru_bytes() == 256 * 1024 * 1024
+        store = ArtifactStore(cache_dir=tmp_path)
+        assert store._lru_budget == 256 * 1024 * 1024
+
+    def test_prune_keeps_recently_hit_traces(self, store, tmp_path):
+        """A disk hit refreshes mtime, so age-based pruning spares
+        traces a long-running sweep is actively replaying."""
+        import os
+
+        from repro.experiments import cachectl
+        from repro.experiments.artifacts import ArtifactStore
+
+        config, baseline, _ = _quick_programs()
+        machine = config.machine_for(4)
+        store.simulate_inorder(
+            baseline, machine, max_instructions=config.max_instructions
+        )
+        [path] = (tmp_path / "traces").glob("*.trace")
+        stale = time.time() - 10 * 86400
+        os.utime(path, (stale, stale))
+
+        # A fresh store (empty memory layer) replays from disk: hot.
+        other = ArtifactStore(cache_dir=tmp_path)
+        assert other.load_trace(path.stem) is not None
+
+        removed = cachectl.prune(tmp_path, max_age_days=5)
+        assert removed["traces"] == (0, 0)
+        assert path.exists()
