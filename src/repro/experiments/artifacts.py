@@ -50,7 +50,11 @@ Counter semantics (reported per job via :meth:`ArtifactStore.mark` /
 ``trace_captures`` counts execute-driven capture runs,
 ``trace_replays`` counts simulations served from a trace,
 ``trace_hits``/``trace_misses`` count store lookups (memory or disk),
-``profile_*``/``btrace_*``/``compile_*`` likewise.
+``profile_*``/``btrace_*``/``compile_*`` likewise;
+``shm_publishes``/``shm_attaches`` count shared-memory trace-plane
+traffic (:mod:`.plane`) -- a publish is one worker exporting decoded
+columns for the whole pool, an attach is a zero-copy map that skipped
+the disk read + inflate entirely.
 """
 
 from __future__ import annotations
@@ -73,7 +77,7 @@ from ..uarch.trace import (
     content_digest,
     predictor_id,
 )
-from . import faults
+from . import faults, plane
 
 #: Bump when a JSON artifact layout changes.
 ARTIFACT_SCHEMA = 1
@@ -90,7 +94,14 @@ _COUNTER_NAMES = (
     "profile_misses",
     "compile_hits",
     "compile_misses",
+    "shm_publishes",
+    "shm_attaches",
 )
+
+#: Bound on the in-process measured-profile memo (entries are small --
+#: one BranchStats dict per (program, budget, predictor) -- but sweeps
+#: can touch many predictors; keep the memo from growing unbounded).
+_PROFILE_MEMO_CAP = 128
 
 
 def _env_flag(name: str, default: bool = True) -> bool:
@@ -150,7 +161,9 @@ class ArtifactStore:
         self._lru_budget = _env_lru_bytes()
         #: In-process memos (never persisted; values hold live objects).
         self._btrace_memo: Dict[str, List[Tuple[int, bool]]] = {}
-        self._profile_memo: Dict[str, Dict[int, BranchStats]] = {}
+        self._profile_memo: "OrderedDict[str, Dict[int, BranchStats]]" = (
+            OrderedDict()
+        )
         self._compile_memo: Dict[str, object] = {}
 
     # -- counters ----------------------------------------------------------
@@ -225,11 +238,24 @@ class ArtifactStore:
             self._trace_lru_bytes -= evicted_bytes
 
     def load_trace(self, key: str) -> Optional[Trace]:
-        """Memory-first lookup; a corrupt disk trace is quarantined and
-        reported as a miss (the caller recaptures transparently)."""
+        """Memory-first lookup: in-process LRU, then the shared-memory
+        trace plane (zero-copy map, populated by whichever pool worker
+        decoded the trace first), then the disk container.  A disk hit
+        publishes to the plane so siblings skip the inflate; a corrupt
+        disk trace is quarantined and reported as a miss (the caller
+        recaptures transparently)."""
         trace = self._lru_get(key)
         if trace is not None:
             self._bump("trace_hits")
+            return trace
+        trace = plane.attach_trace(key)
+        if trace is not None:
+            self._bump("trace_hits")
+            self._bump("shm_attaches")
+            # The attached trace enters the LRU so replay prep layers
+            # accumulate on it across sweep points, same as a decoded
+            # one -- only the column memory is shared, not copied.
+            self._lru_put(key, trace)
             return trace
         if trace_cache_enabled():
             path = self.traces_dir / f"{key}.trace"
@@ -245,6 +271,8 @@ class ArtifactStore:
                 else:
                     self._bump("trace_hits")
                     self._lru_put(key, trace)
+                    if plane.publish_trace(key, trace) is not None:
+                        self._bump("shm_publishes")
                     try:
                         # Refresh mtime so age-based pruning (``repro
                         # cache prune --max-age``) keeps hot traces.
@@ -257,6 +285,8 @@ class ArtifactStore:
 
     def store_trace(self, key: str, trace: Trace) -> None:
         self._lru_put(key, trace)
+        if plane.publish_trace(key, trace) is not None:
+            self._bump("shm_publishes")
         if not trace_cache_enabled():
             return
         blob = trace.to_bytes()
@@ -379,43 +409,16 @@ class ArtifactStore:
                 sort_keys=True,
             ).encode()
         ).hexdigest()
-        memoed = self._profile_memo.get(key)
-        if memoed is not None:
-            self._bump("profile_hits")
-            return memoed
-        path = self.profiles_dir / f"{key}.json"
-        if trace_cache_enabled():
-            try:
-                raw = path.read_text()
-            except OSError:
-                raw = None
-            if raw is not None:
-                try:
-                    payload = json.loads(raw)
-                    if payload["schema"] != ARTIFACT_SCHEMA:
-                        raise ValueError("wrong schema")
-                    profile = {
-                        int(b): BranchStats(
-                            branch_id=int(b),
-                            executions=row[0],
-                            taken=row[1],
-                            correct=row[2],
-                        )
-                        for b, row in payload["stats"].items()
-                    }
-                except (ValueError, KeyError, TypeError, IndexError):
-                    self._quarantine(path)
-                else:
-                    self._bump("profile_hits")
-                    self._profile_memo[key] = profile
-                    return profile
+        profile = self.load_profile(key)
+        if profile is not None:
+            return profile
         self._bump("profile_misses")
         events = self.branch_trace(program, max_instructions)
         profile = measure_trace(events, predictor_factory)
-        self._profile_memo[key] = profile
+        self._memo_profile(key, profile)
         if trace_cache_enabled():
             self._write_atomic(
-                path,
+                self.profiles_dir / f"{key}.json",
                 json.dumps(
                     {
                         "schema": ARTIFACT_SCHEMA,
@@ -426,6 +429,60 @@ class ArtifactStore:
                     }
                 ).encode(),
             )
+        return profile
+
+    def _memo_profile(
+        self, key: str, profile: Dict[int, BranchStats]
+    ) -> None:
+        self._profile_memo[key] = profile
+        self._profile_memo.move_to_end(key)
+        while len(self._profile_memo) > _PROFILE_MEMO_CAP:
+            self._profile_memo.popitem(last=False)
+
+    def load_profile(
+        self, key: str
+    ) -> Optional[Dict[int, BranchStats]]:
+        """Keyed measured-profile lookup: bounded memo first, then the
+        JSON artifact on disk.
+
+        The memo is the fix for a quiet hot-path tax: a predictor
+        ladder calls :meth:`profile` with the same key many times, and
+        each disk hit used to re-read and re-parse the JSON artifact.
+        Returns ``None`` (with no counter movement) when the profile is
+        absent -- the caller computes and stores it.
+        """
+        import json
+
+        memoed = self._profile_memo.get(key)
+        if memoed is not None:
+            self._profile_memo.move_to_end(key)
+            self._bump("profile_hits")
+            return memoed
+        if not trace_cache_enabled():
+            return None
+        path = self.profiles_dir / f"{key}.json"
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw)
+            if payload["schema"] != ARTIFACT_SCHEMA:
+                raise ValueError("wrong schema")
+            profile = {
+                int(b): BranchStats(
+                    branch_id=int(b),
+                    executions=row[0],
+                    taken=row[1],
+                    correct=row[2],
+                )
+                for b, row in payload["stats"].items()
+            }
+        except (ValueError, KeyError, TypeError, IndexError):
+            self._quarantine(path)
+            return None
+        self._bump("profile_hits")
+        self._memo_profile(key, profile)
         return profile
 
     # -- compiled programs (in-process only) -------------------------------
@@ -583,14 +640,31 @@ _DEFAULT_STORE: Optional[ArtifactStore] = None
 _DEFAULT_STORE_DIR: Optional[str] = None
 
 
+def _configured_root() -> str:
+    """The cache root ``REPRO_CACHE_DIR`` currently points at, resolved."""
+    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    if not configured:
+        from .engine import RESULTS_DIR
+
+        configured = str(RESULTS_DIR / ".cache")
+    try:
+        return str(pathlib.Path(configured).resolve())
+    except OSError:
+        return configured
+
+
 def default_store() -> ArtifactStore:
     """Process-wide store rooted at the engine's cache directory.
 
     Re-rooted automatically when ``REPRO_CACHE_DIR`` changes (tests
-    repoint it per tmp_path).
+    repoint it per tmp_path).  Comparison is by *resolved path*, not
+    the raw env string: the engine exports ``REPRO_CACHE_DIR`` around
+    each parallel map and restores it after, and a string-based check
+    used to discard the store -- and every warm memo in it -- on each
+    of those no-op toggles.
     """
     global _DEFAULT_STORE, _DEFAULT_STORE_DIR
-    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    configured = _configured_root()
     if _DEFAULT_STORE is None or _DEFAULT_STORE_DIR != configured:
         _DEFAULT_STORE = ArtifactStore()
         _DEFAULT_STORE_DIR = configured

@@ -9,14 +9,18 @@ accumulates four kinds of state:
 * ``traces``  -- captured instruction traces (``traces/<key>.trace``);
 * ``profiles`` -- TRAIN branch traces and measured profiles
   (``profiles/<key>.btrace`` / ``.json``);
+* ``batches``  -- per-batch envelope spools (``batches/<nonce>.jsonl``);
+  normally deleted the moment a batch settles, so anything found here
+  is the residue of a run that died mid-flight;
 * ``quarantine`` -- artifacts that failed integrity validation.
 
 Everything here is derived state: deleting any of it costs recompute
 time, never correctness (content addressing recaptures on demand).
 :func:`scan` sizes each section; :func:`prune` applies an age cutoff
 and/or a total size budget (oldest files evicted first);
-:func:`artifact_counters` reads the hit/miss counters a schema-4 run
-manifest aggregated.
+:func:`artifact_counters` reads the hit/miss counters a schema>=4 run
+manifest aggregated; :func:`batch_totals` reads the schema-5 batch
+and shared-memory accounting.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ SECTIONS: Tuple[Tuple[str, str, str], ...] = (
     ("runs", "runs", "*.jsonl"),
     ("traces", "traces", "*.trace"),
     ("profiles", "profiles", "*"),
+    ("batches", "batches", "*.jsonl"),
     ("quarantine", "quarantine", "*"),
 )
 
@@ -167,6 +172,29 @@ def artifact_counters(
     return artifacts if isinstance(artifacts, dict) else None
 
 
+def batch_totals(
+    manifest_path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, int]]:
+    """Schema-5 batch/shared-memory accounting of the last manifest:
+    fused batch submissions, points run inside them, and shm segments
+    unlinked at run end.  ``None`` for older manifests."""
+    if manifest_path is None:
+        from .engine import RESULTS_DIR
+
+        manifest_path = RESULTS_DIR / "run_manifest.json"
+    try:
+        manifest = json.loads(pathlib.Path(manifest_path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or manifest.get("schema", 0) < 5:
+        return None
+    totals = manifest.get("totals", {})
+    return {
+        name: totals.get(name, 0)
+        for name in ("batches", "batch_points", "shm_segments_cleaned")
+    }
+
+
 def _human(nbytes: int) -> str:
     value = float(nbytes)
     for unit in ("B", "KiB", "MiB", "GiB"):
@@ -207,11 +235,16 @@ def render_report(
     )
     counters = artifact_counters(manifest_path)
     if counters:
-        lines.append("last run artifact counters (manifest schema 4):")
+        lines.append("last run artifact counters (manifest schema >= 4):")
         for name, value in sorted(counters.items()):
             lines.append(f"  {name:<20} {value}")
     else:
         lines.append(
             "no artifact counters (no schema-4 run manifest found)"
         )
+    batches = batch_totals(manifest_path)
+    if batches is not None:
+        lines.append("last run batch dispatch (manifest schema 5):")
+        for name in ("batches", "batch_points", "shm_segments_cleaned"):
+            lines.append(f"  {name:<20} {batches[name]}")
     return "\n".join(lines)

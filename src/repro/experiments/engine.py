@@ -37,6 +37,16 @@ re-running a figure after touching only a report renderer is instant.
   ``progress(done, total, label)`` callback, and a machine-readable
   manifest (:meth:`ExperimentEngine.write_manifest`) recording config,
   timings, per-job status/attempts/error, and cache hit/miss counts.
+* **Warm-worker plane**: on the parallel path the engine exports a
+  run-scoped shared-memory prefix so workers publish decoded traces
+  once per machine (:mod:`.plane`) and map them zero-copy thereafter;
+  follower sweep points of one artifact group are *fused into batches*
+  (:func:`_run_job_batch`) so one worker submission loads/maps the
+  trace once and reuses the layered replay prep across every point.
+  Each batch point spools its envelope to disk the moment it finishes,
+  so a crash mid-batch retries only the unfinished remainder and
+  ``--resume`` replays completed points from the journal individually
+  -- per-point isolation, caching, and journalling are unchanged.
 * Fault injection: see :mod:`.faults` (``REPRO_FAULT_INJECT``) for the
   deterministic harness that exercises all of the above in tests.
 
@@ -45,7 +55,10 @@ Environment knobs: ``REPRO_JOBS`` (worker count), ``REPRO_CACHE=0``
 ``results/.cache/``), ``REPRO_RETRIES`` (infrastructure-fault retries,
 default 2), ``REPRO_JOB_TIMEOUT`` (per-job seconds, 0 = off),
 ``REPRO_RETRY_BACKOFF`` (base backoff seconds, default 0.5),
-``REPRO_FAULT_INJECT`` (fault plan).
+``REPRO_FAULT_INJECT`` (fault plan), ``REPRO_SHM=0`` (disable the
+shared-memory trace plane), ``REPRO_BATCH`` (0 = per-job dispatch,
+1 = fuse each whole artifact group, N>1 = cap fused batches at N
+points; default 1).
 """
 
 from __future__ import annotations
@@ -76,7 +89,7 @@ from typing import (
     Sequence,
 )
 
-from . import faults
+from . import faults, plane
 
 #: Bump when the cached-result layout changes.
 CACHE_SCHEMA = 1
@@ -86,8 +99,11 @@ CACHE_SCHEMA = 1
 #: the totals; v3 adds per-job status (ok/failed/timeout/skipped),
 #: attempt counts, failure tracebacks, and the run id / robustness knobs;
 #: v4 adds per-job and total artifact counters (trace capture/replay,
-#: shared profile and compile hits -- see :mod:`.artifacts`).
-MANIFEST_SCHEMA = 4
+#: shared profile and compile hits -- see :mod:`.artifacts`); v5 adds
+#: batch accounting (``batches``/``batch_points``), shared-memory plane
+#: counters, per-job ``worker_pid``/``batched``, and a per-worker
+#: artifact-counter breakdown (``workers``).
+MANIFEST_SCHEMA = 5
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
@@ -188,9 +204,25 @@ def _run_timed(
     (not an argument) so the switch survives the trip into
     ``ProcessPoolExecutor`` workers; fault injection
     (``REPRO_FAULT_INJECT``) rides the environment the same way.
+
+    Every envelope additionally carries ``worker_pid`` and the
+    *worker-process* artifact-counter movement (``artifacts``) for the
+    job.  The counters have to travel in the envelope: the store that
+    did the work lives in the pool worker, and its counters would
+    otherwise be lost when results cross back to the parent (manifest
+    totals used to reflect the parent process only).
     """
     start = time.perf_counter()
     profile = None
+    mark = None
+    store = None
+    try:
+        from .artifacts import default_store
+
+        store = default_store()
+        mark = store.mark()
+    except Exception:
+        store = None
     try:
         faults.inject_worker_faults(label, attempt, in_process=in_process)
         if _env_profile_enabled():
@@ -206,13 +238,74 @@ def _run_timed(
             "status": "failed",
             "wall_s": time.perf_counter() - start,
             "error": _error_dict(exc, trace=traceback.format_exc()),
+            "artifacts": store.delta(mark) if store is not None else None,
+            "worker_pid": os.getpid(),
         }
     return {
         "status": "ok",
         "result": result,
         "wall_s": time.perf_counter() - start,
         "profile": profile,
+        "artifacts": store.delta(mark) if store is not None else None,
+        "worker_pid": os.getpid(),
     }
+
+
+def _run_job_batch(
+    worker: Callable[[Any], Dict],
+    items: Sequence[tuple],
+    attempt: int,
+    spool_path: str,
+) -> Dict:
+    """Run a fused batch of sweep points in one worker submission.
+
+    ``items`` is ``[(payload, label), ...]`` -- every point of one
+    artifact group, so the first point's trace load warms the
+    worker-resident store (or maps the shared-memory segment) and every
+    later point replays from it, layered prep included.  Points run
+    through :func:`_run_timed` individually: one point raising never
+    takes down its batch-mates.
+
+    Each envelope is appended (and flushed) to ``spool_path`` *before*
+    the next point starts.  If the worker dies mid-batch the parent
+    reads the spool, absorbs the completed prefix, and requeues only
+    the remainder -- the crash-retry granularity stays per-point, as in
+    the unbatched engine.  The ``batch_die`` fault kind injects exactly
+    that death, between points, deterministically.
+    """
+    envelopes: List[Dict] = []
+    with open(spool_path, "w") as spool:
+        for payload, label in items:
+            if faults.should_batch_die(label, attempt):
+                os._exit(faults.DIE_EXIT_STATUS)
+            envelope = _run_timed(worker, payload, label, attempt)
+            envelopes.append(envelope)
+            spool.write(json.dumps(envelope) + "\n")
+            spool.flush()
+    return {"status": "batch", "envelopes": envelopes}
+
+
+def _pool_worker_init(env: Dict[str, str]) -> None:
+    """Pool initializer: pin the artifact environment in the worker and
+    build the worker-resident store before the first job arrives.
+
+    The store (and everything it memoises) lives for the worker's whole
+    lifetime, across batches; after a watchdog kill-and-respawn the
+    fresh workers run this again and transparently repopulate -- their
+    first trace load maps the shared-memory segment a previous
+    incarnation published instead of re-inflating from disk.
+    """
+    for name, value in env.items():
+        if value:
+            os.environ[name] = value
+        else:
+            os.environ.pop(name, None)
+    try:
+        from .artifacts import default_store
+
+        default_store()
+    except Exception:
+        pass
 
 
 def _seed_worker(payload) -> Dict:
@@ -254,6 +347,30 @@ def _env_retry_backoff() -> float:
     return max(0.0, float(raw)) if raw else 0.5
 
 
+def _env_batch() -> int:
+    """``REPRO_BATCH``: 0 = per-job dispatch (no fusing), 1 = fuse each
+    whole artifact group into one submission (default), N>1 = cap fused
+    batches at N points."""
+    raw = os.environ.get("REPRO_BATCH", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 1
+
+
+def _fuse(members: Sequence[int], cap: int) -> List[tuple]:
+    """Chunk a released follower group into batch id-tuples."""
+    if cap == 0:
+        return [(i,) for i in members]
+    if cap == 1:
+        return [tuple(members)]
+    return [
+        tuple(members[j : j + cap]) for j in range(0, len(members), cap)
+    ]
+
+
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Terminate a pool's workers and abandon it without waiting.
 
@@ -278,7 +395,7 @@ class _JobState:
 
     __slots__ = (
         "result", "wall_s", "source", "profile", "status", "error",
-        "attempts",
+        "attempts", "artifacts", "worker_pid", "batched",
     )
 
     def __init__(self) -> None:
@@ -291,6 +408,11 @@ class _JobState:
         self.status = "pending"
         self.error: Optional[Dict] = None
         self.attempts = 0
+        #: Worker-process artifact-counter movement (from the envelope).
+        self.artifacts: Optional[Dict] = None
+        self.worker_pid: Optional[int] = None
+        #: Ran as part of a fused batch submission.
+        self.batched = False
 
 
 class ExperimentEngine:
@@ -350,6 +472,15 @@ class ExperimentEngine:
         self.cache_misses = 0
         self.journal_hits = 0
         self.cache_quarantined = 0
+        #: Fused batch submissions absorbed (full or spool-recovered).
+        self.batches = 0
+        #: Sweep points that ran inside fused batches.
+        self.batch_points = 0
+        #: Shared-memory segments unlinked at run end.
+        self.shm_segments_cleaned = 0
+        #: Prefix of the most recent parallel map's shm segments (kept
+        #: after cleanup so tests can assert the namespace is empty).
+        self.last_shm_prefix: Optional[str] = None
         #: One record per executed/looked-up job, in submission order.
         self.records: List[Dict] = []
         #: Records of the most recent :meth:`map` call, payload-aligned.
@@ -390,6 +521,27 @@ class ExperimentEngine:
             for name, value in (record.get("artifacts") or {}).items():
                 totals[name] = totals.get(name, 0) + value
         return totals
+
+    def worker_totals(self) -> Dict[str, Dict[str, int]]:
+        """Artifact-counter movement per worker process.
+
+        Keyed by pid (as a string, for JSON); each bucket carries the
+        job count plus the summed counters of every job that executed
+        in that worker this run.  Shows at a glance how warm each
+        worker ran -- e.g. one worker publishing a trace
+        (``shm_publishes``) and its siblings mapping it
+        (``shm_attaches``).
+        """
+        per: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            pid = record.get("worker_pid")
+            if pid is None:
+                continue
+            bucket = per.setdefault(str(pid), {"jobs": 0})
+            bucket["jobs"] += 1
+            for name, value in (record.get("artifacts") or {}).items():
+                bucket[name] = bucket.get(name, 0) + value
+        return per
 
     @property
     def failures(self) -> List[Dict]:
@@ -434,6 +586,9 @@ class ExperimentEngine:
                 "journal_hits": self.journal_hits,
                 "quarantined": self.cache_quarantined,
                 "artifacts": self.artifact_totals(),
+                "batches": self.batches,
+                "batch_points": self.batch_points,
+                "shm_segments_cleaned": self.shm_segments_cleaned,
                 "ok": counts["ok"],
                 "failed": counts["failed"],
                 "timeout": counts["timeout"],
@@ -447,6 +602,7 @@ class ExperimentEngine:
                     self.total_committed_instructions,
                 "sim_kips": self.total_sim_kips,
             },
+            "workers": self.worker_totals(),
             "jobs": self.records,
         }
         if config is not None:
@@ -617,9 +773,14 @@ class ExperimentEngine:
         pending job of each group runs as the *leader* -- it captures
         and persists the shared artifacts -- and the rest of the group
         is held back until the leader finishes, then fanned out to
-        replay from the warm store.  Only the parallel path reorders;
-        ``jobs=1`` already runs in payload order.  Result order is
-        unaffected.
+        replay from the warm store.  On the parallel path released
+        followers are additionally *fused* into batched submissions
+        (``REPRO_BATCH``, default: one batch per group) that map the
+        trace once and reuse the layered replay prep across points,
+        and decoded traces travel between workers through the
+        shared-memory plane (``REPRO_SHM``).  Only the parallel path
+        reorders; ``jobs=1`` already runs in payload order.  Result
+        order is unaffected.
 
         ``worker`` must be a top-level function returning a
         JSON-serialisable dict (so results can cross process boundaries
@@ -654,6 +815,8 @@ class ExperimentEngine:
         # spawn, the serial path reads it directly).
         previous_root = os.environ.get("REPRO_CACHE_DIR")
         os.environ["REPRO_CACHE_DIR"] = str(self.cache_dir)
+        previous_prefix = os.environ.get(plane.PREFIX_ENV)
+        shm_prefix: Optional[str] = None
 
         def tick(i: int) -> None:
             progress_done[0] += 1
@@ -683,6 +846,15 @@ class ExperimentEngine:
 
         try:
             if pending and self.jobs > 1:
+                if plane.shm_enabled() and plane.shm_available():
+                    # Run-scoped shared-memory namespace: workers
+                    # publish/attach decoded traces under this prefix
+                    # for the duration of the call, and the cleanup
+                    # below (which also covers KeyboardInterrupt)
+                    # unlinks every segment when the run ends.
+                    shm_prefix = plane.new_prefix()
+                    os.environ[plane.PREFIX_ENV] = shm_prefix
+                    plane.register_run(shm_prefix)
                 self._run_supervised(
                     worker, payloads, labels, keys, states, pending, tick,
                     groups=groups,
@@ -704,6 +876,13 @@ class ExperimentEngine:
                 os.environ.pop("REPRO_CACHE_DIR", None)
             else:
                 os.environ["REPRO_CACHE_DIR"] = previous_root
+            if shm_prefix is not None:
+                if previous_prefix is None:
+                    os.environ.pop(plane.PREFIX_ENV, None)
+                else:
+                    os.environ[plane.PREFIX_ENV] = previous_prefix
+                self.last_shm_prefix = shm_prefix
+                self.shm_segments_cleaned += plane.cleanup_run(shm_prefix)
 
         self._finalise(labels, keys, states)
         return [
@@ -722,11 +901,15 @@ class ExperimentEngine:
         keys: Sequence[str],
         states: Sequence[_JobState],
         tick: Callable[[int], None],
+        batched: bool = False,
     ) -> None:
         """Fold one worker envelope into the job state; persist it."""
         state = states[i]
         state.attempts = attempt + 1
         state.wall_s = envelope.get("wall_s", 0.0)
+        state.artifacts = envelope.get("artifacts")
+        state.worker_pid = envelope.get("worker_pid")
+        state.batched = batched
         if envelope.get("status") == "ok":
             state.result = envelope.get("result")
             state.profile = envelope.get("profile")
@@ -811,58 +994,101 @@ class ExperimentEngine:
         At most ``jobs`` futures are outstanding at once so a submitted
         job starts (approximately) immediately, which is what makes a
         submission-time deadline a faithful per-job timeout.  Queue
-        entries are ``(index, attempt, not_before)``; infrastructure
-        faults (dead worker process, timeout) requeue with the attempt
-        charged and an exponential-backoff-with-jitter delay, while
-        innocent jobs caught in a pool kill requeue at no cost.
+        entries are ``(ids, attempt, not_before)`` where ``ids`` is a
+        tuple of payload indices: a single-element tuple is a plain
+        job, a longer one a fused batch (:func:`_run_job_batch`) whose
+        deadline scales with its point count.  Infrastructure faults
+        (dead worker process, timeout) recover any points the batch
+        already spooled, then requeue the remainder with the attempt
+        charged and an exponential-backoff-with-jitter delay; innocent
+        jobs caught in a pool kill requeue at no cost.
 
         Artifact groups (see :meth:`map`): the first pending member of
         each group enters the queue as leader; the rest wait in
         ``held`` and are released the moment the leader reaches a
         terminal status (ok *or* failed -- followers of a failed
-        leader still run, they just find a cold artifact store).
+        leader still run, they just find a cold artifact store).  On
+        release the group's followers are fused into batches of up to
+        ``REPRO_BATCH`` points, so the whole group pays for one trace
+        load/map and one layered replay prep.
         """
         max_workers = min(self.jobs, len(pending))
         timeout = self.job_timeout
         poll = (
             max(0.01, min(0.1, timeout / 5.0)) if timeout else 0.1
         )
+        batch_cap = _env_batch()
+        worker_env = {
+            "REPRO_CACHE_DIR": str(self.cache_dir),
+            plane.PREFIX_ENV: os.environ.get(plane.PREFIX_ENV, ""),
+        }
         queue: List[tuple] = []
-        held: Dict[Any, List[tuple]] = {}
+        held: Dict[Any, List[int]] = {}
         leaders: Dict[Any, int] = {}
         for i in pending:
             group = groups[i] if groups is not None else None
             if group is None:
-                queue.append((i, 0, 0.0))
+                queue.append(((i,), 0, 0.0))
             elif group not in leaders:
                 leaders[group] = i
-                queue.append((i, 0, 0.0))
+                queue.append(((i,), 0, 0.0))
             else:
-                held.setdefault(group, []).append((i, 0, 0.0))
+                held.setdefault(group, []).append(i)
         outstanding: Dict[Any, tuple] = {}
         pool: Optional[ProcessPoolExecutor] = None
 
-        def settle(future, i: int, attempt: int) -> bool:
+        def settle(future, ids, attempt, spool) -> bool:
             """Fold a completed future; returns True if the pool broke."""
             try:
                 envelope = future.result()
             except (BrokenProcessPool, CancelledError) as exc:
+                remaining = self._recover_batch(
+                    ids, attempt, spool, labels, keys, states, tick
+                )
                 self._infra_fault(
-                    queue, i, attempt, "broken-pool", exc,
+                    queue, remaining, attempt, "broken-pool", exc,
                     labels, keys, states, tick,
                 )
                 return True
             except Exception as exc:
                 # e.g. the envelope failed to unpickle: deterministic.
-                states[i].attempts = attempt + 1
-                self._fail(
-                    i, "failed", _error_dict(exc), labels, keys, states
-                )
-                tick(i)
+                self._discard_spool(spool)
+                for i in ids:
+                    states[i].attempts = attempt + 1
+                    self._fail(
+                        i, "failed", _error_dict(exc), labels, keys, states
+                    )
+                    tick(i)
                 return False
-            self._absorb(
-                i, attempt, envelope, labels, keys, states, tick
-            )
+            if envelope.get("status") == "batch":
+                self._discard_spool(spool)
+                envelopes = envelope.get("envelopes") or []
+                for j, env in enumerate(envelopes[: len(ids)]):
+                    self._absorb(
+                        ids[j], attempt, env, labels, keys, states, tick,
+                        batched=True,
+                    )
+                for i in ids[len(envelopes):]:
+                    states[i].attempts = attempt + 1
+                    self._fail(
+                        i,
+                        "failed",
+                        {
+                            "type": "IncompleteBatch",
+                            "message": "batch returned fewer envelopes "
+                            "than points",
+                            "traceback": "",
+                        },
+                        labels, keys, states,
+                    )
+                    tick(i)
+                self.batches += 1
+                self.batch_points += min(len(envelopes), len(ids))
+            else:
+                self._discard_spool(spool)
+                self._absorb(
+                    ids[0], attempt, envelope, labels, keys, states, tick
+                )
             return False
 
         try:
@@ -870,31 +1096,51 @@ class ExperimentEngine:
                 if held:
                     for group in list(held):
                         if states[leaders[group]].status != "pending":
-                            queue.extend(held.pop(group))
+                            for ids in _fuse(held.pop(group), batch_cap):
+                                queue.append((ids, 0, 0.0))
                 now = time.monotonic()
                 if pool is None:
-                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                    pool = ProcessPoolExecutor(
+                        max_workers=max_workers,
+                        initializer=_pool_worker_init,
+                        initargs=(worker_env,),
+                    )
                 # Fill free worker slots with ready queue entries.
                 pool_died = False
                 deferred: List[tuple] = []
                 for entry in queue:
-                    i, attempt, not_before = entry
+                    ids, attempt, not_before = entry
                     if pool_died or len(outstanding) >= max_workers \
                             or not_before > now:
                         deferred.append(entry)
                         continue
+                    spool = None
                     try:
-                        future = pool.submit(
-                            _run_timed, worker, payloads[i],
-                            labels[i], attempt,
-                        )
+                        if len(ids) == 1:
+                            future = pool.submit(
+                                _run_timed, worker, payloads[ids[0]],
+                                labels[ids[0]], attempt,
+                            )
+                        else:
+                            spool = self._new_spool()
+                            future = pool.submit(
+                                _run_job_batch,
+                                worker,
+                                [(payloads[i], labels[i]) for i in ids],
+                                attempt,
+                                str(spool),
+                            )
                     except Exception:
                         # Pool broke between loops; requeue at no cost.
+                        self._discard_spool(spool)
                         deferred.append(entry)
                         pool_died = True
                         continue
-                    deadline = now + timeout if timeout else None
-                    outstanding[future] = (i, attempt, deadline)
+                    # A fused batch gets one per-point budget per point.
+                    deadline = (
+                        now + timeout * len(ids) if timeout else None
+                    )
+                    outstanding[future] = (ids, attempt, deadline, spool)
                 queue[:] = deferred
 
                 if pool_died:
@@ -919,8 +1165,8 @@ class ExperimentEngine:
                 )
                 broken = False
                 for future in done:
-                    i, attempt, _ = outstanding.pop(future)
-                    broken = settle(future, i, attempt) or broken
+                    ids, attempt, _, spool = outstanding.pop(future)
+                    broken = settle(future, ids, attempt, spool) or broken
                 if broken:
                     # Every other future on the dead pool resolves
                     # exceptionally as well; retry them all, then
@@ -934,7 +1180,8 @@ class ExperimentEngine:
                     now = time.monotonic()
                     expired = {
                         future
-                        for future, (_, _, deadline) in outstanding.items()
+                        for future, (_, _, deadline, _) in
+                        outstanding.items()
                         if deadline is not None
                         and now >= deadline
                         and not future.done()
@@ -943,23 +1190,36 @@ class ExperimentEngine:
                         # The watchdog can only kill whole pools, so
                         # completed-in-the-meantime futures are folded
                         # normally and innocent running jobs requeue
-                        # with no attempt charged.
-                        for future, (i, attempt, _) in list(
+                        # with no attempt charged (minus any points
+                        # their batch already spooled).
+                        for future, (ids, attempt, _, spool) in list(
                             outstanding.items()
                         ):
                             if future in expired:
                                 exc = TimeoutError(
-                                    f"job {labels[i]!r} exceeded "
-                                    f"{timeout:g}s (attempt {attempt})"
+                                    f"job {labels[ids[0]]!r} "
+                                    f"(batch of {len(ids)}) exceeded "
+                                    f"{timeout * len(ids):g}s "
+                                    f"(attempt {attempt})"
+                                )
+                                remaining = self._recover_batch(
+                                    ids, attempt, spool,
+                                    labels, keys, states, tick,
                                 )
                                 self._infra_fault(
-                                    queue, i, attempt, "timeout", exc,
+                                    queue, remaining, attempt,
+                                    "timeout", exc,
                                     labels, keys, states, tick,
                                 )
                             elif future.done():
-                                settle(future, i, attempt)
+                                settle(future, ids, attempt, spool)
                             else:
-                                queue.append((i, attempt, 0.0))
+                                remaining = self._recover_batch(
+                                    ids, attempt, spool,
+                                    labels, keys, states, tick,
+                                )
+                                if remaining:
+                                    queue.append((remaining, attempt, 0.0))
                         outstanding.clear()
                         _kill_pool(pool)
                         pool = None
@@ -968,10 +1228,72 @@ class ExperimentEngine:
                 for future in outstanding:
                     future.cancel()
                 _kill_pool(pool)
+            for _, _, _, spool in outstanding.values():
+                self._discard_spool(spool)
             raise
         else:
             if pool is not None:
                 pool.shutdown(wait=True)
+
+    # -- batch spools ------------------------------------------------------
+
+    def _new_spool(self) -> pathlib.Path:
+        """Fresh spool file for one fused batch submission."""
+        spool_dir = self.cache_dir / "batches"
+        spool_dir.mkdir(parents=True, exist_ok=True)
+        return spool_dir / f"{secrets.token_hex(8)}.jsonl"
+
+    @staticmethod
+    def _discard_spool(spool) -> None:
+        if spool is None:
+            return
+        try:
+            os.unlink(spool)
+        except OSError:
+            pass
+
+    def _recover_batch(
+        self, ids, attempt, spool, labels, keys, states, tick
+    ) -> tuple:
+        """Absorb the points a dead/expired batch already spooled.
+
+        Returns the unfinished tail of ``ids``.  The spool holds one
+        JSON envelope line per completed point, appended in batch
+        order; a torn final line (the worker died mid-append) is
+        ignored.  Completed points are absorbed exactly as if their
+        future had returned -- cached, journalled, ticked -- so the
+        retry re-runs *only* the remainder, and ``--resume`` sees each
+        point individually.
+        """
+        if spool is None:
+            return tuple(ids)
+        envelopes: List[Dict] = []
+        try:
+            raw = pathlib.Path(spool).read_text()
+        except OSError:
+            raw = ""
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                env = json.loads(line)
+            except ValueError:
+                break  # torn tail: the point was mid-write when it died
+            if not isinstance(env, dict):
+                break
+            envelopes.append(env)
+        self._discard_spool(spool)
+        done = min(len(envelopes), len(ids))
+        for j in range(done):
+            self._absorb(
+                ids[j], attempt, envelopes[j], labels, keys, states, tick,
+                batched=True,
+            )
+        if done:
+            self.batches += 1
+            self.batch_points += done
+        return tuple(ids[done:])
 
     def _drain_broken(
         self, outstanding: Dict, queue: List[tuple], settle
@@ -979,24 +1301,29 @@ class ExperimentEngine:
         """Fold every remaining future of a broken pool (they all
         resolve promptly once the pool notices the dead worker)."""
         broken = False
-        for future, (i, attempt, _) in list(outstanding.items()):
-            broken = settle(future, i, attempt) or broken
+        for future, (ids, attempt, _, spool) in list(outstanding.items()):
+            broken = settle(future, ids, attempt, spool) or broken
         outstanding.clear()
         return broken
 
     def _infra_fault(
-        self, queue, i, attempt, kind, exc, labels, keys, states, tick
+        self, queue, ids, attempt, kind, exc, labels, keys, states, tick
     ) -> None:
         """A dead worker process or a timeout: retry with backoff until
-        the attempt budget runs out, then record the final status."""
+        the attempt budget runs out, then record the final status.
+        ``ids`` is the (possibly spool-reduced) tuple of points still
+        owed a result; empty means the batch actually finished."""
+        if not ids:
+            return
         if attempt < self.retries:
             not_before = time.monotonic() + self._backoff_delay(attempt)
-            queue.append((i, attempt + 1, not_before))
+            queue.append((tuple(ids), attempt + 1, not_before))
             return
-        states[i].attempts = attempt + 1
         status = "timeout" if kind == "timeout" else "failed"
-        self._fail(i, status, _error_dict(exc), labels, keys, states)
-        tick(i)
+        for i in ids:
+            states[i].attempts = attempt + 1
+            self._fail(i, status, _error_dict(exc), labels, keys, states)
+            tick(i)
 
     def _finalise(
         self,
@@ -1020,19 +1347,23 @@ class ExperimentEngine:
             if isinstance(result, dict):
                 cycles = result.get("simulated_cycles", 0)
                 committed = result.get("committed_instructions", 0)
-                # Cache/journal hits carry the counters their original
-                # execution recorded, but no artifact work happened in
-                # *this* run -- don't let stale counters inflate the
-                # totals.
-                artifacts = (
-                    result.get("artifacts") or None
-                    if state.source == "miss"
-                    else None
-                )
             else:
                 cycles = 0
                 committed = 0
-                artifacts = None
+            # Cache/journal hits carry the counters their original
+            # execution recorded, but no artifact work happened in
+            # *this* run -- don't let stale counters inflate the
+            # totals.  Executed jobs prefer the envelope-level delta
+            # (measured around the whole job in the worker process,
+            # shm traffic included) over whatever the worker function
+            # chose to embed in its result.
+            artifacts = None
+            if state.source == "miss":
+                artifacts = state.artifacts or (
+                    result.get("artifacts") or None
+                    if isinstance(result, dict)
+                    else None
+                )
             wall = state.wall_s
             record = {
                 "label": labels[i],
@@ -1045,6 +1376,8 @@ class ExperimentEngine:
                 "status": state.status,
                 "attempts": state.attempts,
                 "error": state.error,
+                "worker_pid": state.worker_pid,
+                "batched": state.batched,
                 "wall_s": wall,
                 "simulated_cycles": cycles,
                 "committed_instructions": committed,

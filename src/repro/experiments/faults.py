@@ -32,10 +32,19 @@ Kinds:
 * ``corrupt_trace`` -- the artifact store writes a truncated trace
   container (:mod:`.artifacts`): exercises trace checksum validation,
   quarantine, and transparent recapture on the next load.
+* ``shm_leak``      -- the shared-memory trace plane (:mod:`.plane`)
+  abandons an extra never-ready segment next to a published one:
+  simulates a worker killed between creating and filling a segment,
+  and exercises the engine's run-end ``/dev/shm`` sweep.
+* ``batch_die``     -- the worker process calls ``os._exit`` *between
+  points of a fused batch*: simulates a mid-batch OOM kill and
+  exercises spool recovery (completed points absorbed, only the
+  unfinished remainder retried).
 
-Decisions are independent per kind.  ``crash``/``die``/``hang`` hash
-the attempt number too, so a retried job may (deterministically)
-succeed on a later attempt; ``corrupt_cache``/``corrupt_trace`` are
+Decisions are independent per kind.  ``crash``/``die``/``hang``/
+``batch_die`` hash the attempt number too, so a retried job may
+(deterministically) succeed on a later attempt;
+``corrupt_cache``/``corrupt_trace``/``shm_leak`` are
 attempt-independent.
 """
 
@@ -48,7 +57,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 #: Recognised fault kinds (see the module docstring).
-FAULT_KINDS = ("crash", "die", "hang", "corrupt_cache", "corrupt_trace")
+FAULT_KINDS = (
+    "crash",
+    "die",
+    "hang",
+    "corrupt_cache",
+    "corrupt_trace",
+    "shm_leak",
+    "batch_die",
+)
 
 #: Environment variable holding the fault plan ("" / unset = no faults).
 ENV_VAR = "REPRO_FAULT_INJECT"
@@ -197,3 +214,21 @@ def should_corrupt_trace(key: str) -> bool:
     """Store-side decision: truncate this trace artifact on write?"""
     plan = plan_from_env()
     return plan is not None and plan.decide("corrupt_trace", key)
+
+
+def should_leak_shm(key: str) -> bool:
+    """Plane-side decision: abandon a stray segment for this trace?"""
+    plan = plan_from_env()
+    return plan is not None and plan.decide("shm_leak", key)
+
+
+def should_batch_die(label: str, attempt: int) -> bool:
+    """Batch-runner decision: ``os._exit`` before this batch point?
+
+    Unlike ``die`` (which fires at the top of a job), ``batch_die`` is
+    checked by the fused batch runner between points, *after* earlier
+    points have spooled their envelopes -- the partial-progress case
+    the recovery path exists for.
+    """
+    plan = plan_from_env()
+    return plan is not None and plan.decide("batch_die", label, attempt)

@@ -719,6 +719,59 @@ def _prepare(program, trace: Trace, config: MachineConfig, recorded: bool,
     return base, stream, mem, kernel, btb_misses
 
 
+# ------------------------------------------------------- prep reuse API
+
+
+def warm_replay_prep(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    recorded: bool = True,
+    core: str = "inorder",
+) -> bool:
+    """Build (or reuse) every prep layer one replay of ``trace`` under
+    ``config`` would need, without running the replay.
+
+    The batched execution plane uses this contract implicitly -- the
+    layers live on the trace object, so any sweep point sharing the
+    trace (same worker LRU entry or shared-memory attach) pays only
+    for the layers its ``(mode, ras, geometry, btb)`` key adds, with
+    the predictor-dependent ``pred_bits``/``streams`` layers re-run
+    exactly when ``predictor_id`` changes.  Returns ``False`` when the
+    trace falls outside the vectorized path (the scalar oracle needs
+    no prep).
+    """
+    return _prepare(program, trace, config, recorded, core) is not None
+
+
+def prep_layer_counts(trace: Trace) -> Dict[str, int]:
+    """Entry counts per cached prep layer (zeros when no prep yet).
+
+    Observability for tests and the batch benchmark: after N sweep
+    points of one trace that vary only BTB size, ``btbs`` should have
+    N entries while ``base``/``pred_bits``/``streams`` stay at 1 --
+    the signature of cross-point reuse.
+    """
+    prep = getattr(trace, "_prep", None)
+    if prep is None:
+        return {
+            name: 0
+            for name in (
+                "base", "pred_bits", "ras_bits", "streams", "mems",
+                "btbs", "kernels",
+            )
+        }
+    return {
+        "base": 1 if prep.base else 0,
+        "pred_bits": len(prep.pred_bits),
+        "ras_bits": len(prep.ras_bits),
+        "streams": len(prep.streams),
+        "mems": len(prep.mems),
+        "btbs": len(prep.btbs),
+        "kernels": len(prep.kernels),
+    }
+
+
 # ------------------------------------------------------------------ kernels
 
 

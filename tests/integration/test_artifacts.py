@@ -9,13 +9,18 @@ via ``REPRO_CACHE_DIR`` (the engine exports the same variable around
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import pytest
 
 from repro.branchpred import HybridPredictor
 from repro.experiments import ExperimentEngine, RunConfig
-from repro.experiments.artifacts import ArtifactStore, get_store
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    default_store,
+    get_store,
+)
 from repro.experiments.harness import (
     combine_seed_results,
     prepare_benchmark,
@@ -230,6 +235,61 @@ class TestSeedSharing:
             AssertionError, match="diverged across REF seeds"
         ):
             combine_seed_results("h264ref", config2, [seed, other])
+
+
+class TestProfileMemo:
+    def test_repeat_lookups_stop_touching_disk(self, store, tmp_path):
+        """A predictor ladder hits the same measured profile many
+        times; after the first disk read the bounded memo serves it."""
+        config, baseline, _ = _quick_programs()
+        first = store.profile(
+            baseline, config.max_instructions, HybridPredictor
+        )
+
+        # A fresh store (cold memo) loads the artifact from disk once.
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        mark = fresh.mark()
+        second = fresh.profile(
+            baseline, config.max_instructions, HybridPredictor
+        )
+        assert fresh.delta(mark).get("profile_hits") == 1
+        assert second == first  # BranchStats is a frozen dataclass
+
+        # Deleting the JSON artifact proves the repeat lookup never
+        # goes back to disk: the memo alone must serve it.
+        for path in (tmp_path / "profiles").glob("*.json"):
+            path.unlink()
+        mark = fresh.mark()
+        third = fresh.profile(
+            baseline, config.max_instructions, HybridPredictor
+        )
+        assert fresh.delta(mark).get("profile_hits") == 1
+        assert "profile_misses" not in fresh.delta(mark)
+        assert third == first
+
+    def test_load_profile_absent_is_silent(self, store):
+        assert store.load_profile("00" * 32) is None
+        assert store.counters["profile_hits"] == 0
+        assert store.counters["profile_misses"] == 0
+
+
+class TestDefaultStoreRerooting:
+    def test_equivalent_env_paths_keep_the_store(
+        self, tmp_path, monkeypatch
+    ):
+        """The engine exports REPRO_CACHE_DIR around every map call;
+        spelling the same root differently must not discard the
+        process store (and its warm memos)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = default_store()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path) + os.sep)
+        assert default_store() is first
+        monkeypatch.setenv(
+            "REPRO_CACHE_DIR", str(tmp_path / ".." / tmp_path.name)
+        )
+        assert default_store() is first
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_store() is not first
 
 
 class TestGroupScheduling:

@@ -133,8 +133,8 @@ class TestObservability:
             assert "h264ref" in record["label"]
 
     def test_manifest_schema4_health_fields(self, tmp_path):
-        """Schema 4: per-job status/attempts/error plus run identity,
-        robustness knobs, health totals, and artifact counters."""
+        """Schema >= 4 fields: per-job status/attempts/error plus run
+        identity, robustness knobs, health totals, artifact counters."""
         config = RunConfig.quick()
         engine = ExperimentEngine(
             jobs=1, cache_dir=tmp_path, use_cache=True, run_id="m3",
@@ -142,7 +142,7 @@ class TestObservability:
         )
         engine.run_benchmark("h264ref", config)
         manifest = engine.manifest(config)
-        assert manifest["schema"] == 4
+        assert manifest["schema"] == 5
         block = manifest["engine"]
         assert block["run_id"] == "m3"
         assert block["resume"] is False
