@@ -1,0 +1,98 @@
+"""Execution-backend dispatch overhead benchmark.
+
+One small parallel sweep of compute-bound jobs, driven twice through
+the engine: once on the supervised local pool and once on the
+lease-based queue backend (two spawned workers, shared-directory
+coordination).  The queue pays real costs the pool does not -- a
+pickled job record, an fsynced lease, heartbeat writes, a durable
+completion link, and poll-interval latency -- so the gate is a bound,
+not a win: the queue sweep must stay within ``_MAX_RATIO`` x the local
+wall plus ``_SLACK_S`` of fixed setup slack.  Results land in
+``results/BENCH_backends.json``.
+
+Correctness (identical results, failover, health accounting) is pinned
+by ``tests/integration/test_backends.py``; this file only watches the
+overhead so a queue-path regression shows up as a number, not an
+anecdote.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.experiments import ExperimentEngine
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+_JOBS = 8
+_SPIN = 120_000
+#: Queue wall must stay within ratio * local + slack (generous: CI
+#: boxes run 1-2 cores and the queue pays two worker spawns).
+_MAX_RATIO = 4.0
+_SLACK_S = 3.0
+
+
+def _spin_job(payload) -> dict:
+    total = 0
+    for i in range(_SPIN):
+        total += (i ^ payload) & 0xFF
+    return {
+        "value": total,
+        "simulated_cycles": _SPIN,
+        "committed_instructions": _SPIN,
+    }
+
+
+def _sweep(backend, cache_dir):
+    engine = ExperimentEngine(
+        jobs=2, cache_dir=cache_dir, use_cache=False, backend=backend,
+    )
+    start = time.perf_counter()
+    results = engine.map(
+        _spin_job, list(range(_JOBS)),
+        labels=[f"bench{i}" for i in range(_JOBS)],
+    )
+    wall = time.perf_counter() - start
+    assert all(r is not None for r in results)
+    assert engine.backend_degraded == 0
+    return wall, results
+
+
+def test_backend_overhead_snapshot(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_QUEUE_WORKERS", raising=False)
+    monkeypatch.setenv("REPRO_QUEUE_POLL", "0.02")
+
+    local_wall, local_results = _sweep("local", tmp_path / "local")
+    queue_wall, queue_results = _sweep("queue", tmp_path / "queue")
+    assert queue_results == local_results, (
+        "queue backend changed the sweep results"
+    )
+
+    bound = _MAX_RATIO * local_wall + _SLACK_S
+    snapshot = {
+        "config": {
+            "jobs": _JOBS,
+            "engine_jobs": 2,
+            "spin_iterations": _SPIN,
+        },
+        "lever": "REPRO_BACKEND (supervised pool vs lease-based queue)",
+        "local_wall_s": round(local_wall, 3),
+        "queue_wall_s": round(queue_wall, 3),
+        "ratio": round(queue_wall / local_wall, 2),
+        "bound_s": round(bound, 3),
+        "note": (
+            "queue overhead = worker spawn + per-job record/lease/"
+            "completion fsyncs + poll latency; gated as a bound, "
+            "not a win"
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backends.json").write_text(
+        json.dumps(snapshot, indent=2) + "\n"
+    )
+    assert queue_wall <= bound, (
+        f"queue sweep {queue_wall:.2f}s exceeds bound {bound:.2f}s "
+        f"({_MAX_RATIO}x local {local_wall:.2f}s + {_SLACK_S}s)"
+    )

@@ -54,14 +54,16 @@ Counter semantics (reported per job via :meth:`ArtifactStore.mark` /
 ``shm_publishes``/``shm_attaches`` count shared-memory trace-plane
 traffic (:mod:`.plane`) -- a publish is one worker exporting decoded
 columns for the whole pool, an attach is a zero-copy map that skipped
-the disk read + inflate entirely.
+the disk read + inflate entirely; ``store_*`` count the durable blob
+layer underneath (:mod:`.store`): fsync'd puts, transient-I/O
+retries, and digest-verification failures (torn transfers quarantined
+on read).
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
-import tempfile
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -78,6 +80,7 @@ from ..uarch.trace import (
     predictor_id,
 )
 from . import faults, plane
+from .store import FileStore, quarantine_file
 
 #: Bump when a JSON artifact layout changes.
 ARTIFACT_SCHEMA = 1
@@ -96,7 +99,19 @@ _COUNTER_NAMES = (
     "compile_misses",
     "shm_publishes",
     "shm_attaches",
+    "store_puts",
+    "store_put_retries",
+    "store_get_retries",
+    "store_verify_failures",
 )
+
+#: FileStore counter -> artifact counter (see :mod:`.store`).
+_STORE_COUNTER_MAP = {
+    "puts": "store_puts",
+    "put_retries": "store_put_retries",
+    "get_retries": "store_get_retries",
+    "verify_failures": "store_verify_failures",
+}
 
 #: Bound on the in-process measured-profile memo (entries are small --
 #: one BranchStats dict per (program, budget, predictor) -- but sweeps
@@ -153,6 +168,14 @@ class ArtifactStore:
         self.profiles_dir = self.cache_dir / "profiles"
         self.quarantine_dir = self.cache_dir / "quarantine"
         self.counters: Dict[str, int] = {n: 0 for n in _COUNTER_NAMES}
+        #: Durable blob layer every disk crossing goes through: fsync'd
+        #: atomic puts with digest sidecars, verified (and quarantining)
+        #: gets, retry-with-backoff on transient I/O (see :mod:`.store`).
+        self.store = FileStore(
+            self.cache_dir,
+            quarantine_dir=self.quarantine_dir,
+            on_counter=self._on_store_counter,
+        )
         #: Hot-trace LRU: key -> Trace, bounded by REPRO_TRACE_LRU_MB.
         self._trace_lru: "OrderedDict[str, Tuple[Trace, int]]" = (
             OrderedDict()
@@ -183,28 +206,41 @@ class ArtifactStore:
     def _bump(self, name: str, by: int = 1) -> None:
         self.counters[name] += by
 
+    def _on_store_counter(self, name: str) -> None:
+        mapped = _STORE_COUNTER_MAP.get(name)
+        if mapped is not None:
+            self._bump(mapped)
+
     # -- plumbing ----------------------------------------------------------
 
+    def _store_name(self, path: pathlib.Path) -> str:
+        """Store-protocol name of an artifact path (root-relative)."""
+        return path.relative_to(self.cache_dir).as_posix()
+
     def _quarantine(self, path: pathlib.Path) -> None:
-        try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, self.quarantine_dir / path.name)
-        except OSError:
+        if quarantine_file(self.quarantine_dir, path) is None:
             return
+        # The blob moved; drop its now-orphaned digest sidecar too.
+        self.store.delete(self._store_name(path))
         self._bump("trace_quarantined")
 
     def _write_atomic(self, path: pathlib.Path, blob: bytes) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        """Durable artifact write through the store protocol: fsync'd
+        atomic rename plus a digest sidecar verified on every read."""
+        self.store.put(self._store_name(path), blob)
+
+    def _read_verified(self, path: pathlib.Path) -> Optional[bytes]:
+        """Digest-verified read; a torn/corrupt blob is quarantined by
+        the store layer and reported as a miss (counted as a
+        quarantined artifact up here too)."""
+        before = self.store.counters.get("verify_failures", 0)
+        blob = self.store.get(self._store_name(path))
+        if (
+            blob is None
+            and self.store.counters.get("verify_failures", 0) > before
+        ):
+            self._bump("trace_quarantined")
+        return blob
 
     # -- traces ------------------------------------------------------------
 
@@ -259,10 +295,7 @@ class ArtifactStore:
             return trace
         if trace_cache_enabled():
             path = self.traces_dir / f"{key}.trace"
-            try:
-                blob = path.read_bytes()
-            except OSError:
-                blob = None
+            blob = self._read_verified(path)
             if blob is not None:
                 try:
                     trace = Trace.from_bytes(blob)
@@ -329,10 +362,7 @@ class ArtifactStore:
             return memoed
         path = self.profiles_dir / f"{key}.btrace"
         if trace_cache_enabled():
-            try:
-                blob = path.read_bytes()
-            except OSError:
-                blob = None
+            blob = self._read_verified(path)
             if blob is not None:
                 try:
                     payload = json.loads(zlib.decompress(blob))
@@ -461,12 +491,11 @@ class ArtifactStore:
         if not trace_cache_enabled():
             return None
         path = self.profiles_dir / f"{key}.json"
-        try:
-            raw = path.read_text()
-        except OSError:
+        blob = self._read_verified(path)
+        if blob is None:
             return None
         try:
-            payload = json.loads(raw)
+            payload = json.loads(blob.decode())
             if payload["schema"] != ARTIFACT_SCHEMA:
                 raise ValueError("wrong schema")
             profile = {
@@ -628,10 +657,12 @@ class ArtifactStore:
         )
         trace = self._lru_get(key)
         if trace is None and trace_cache_enabled():
-            path = self.traces_dir / f"{key}.trace"
+            blob = self._read_verified(self.traces_dir / f"{key}.trace")
+            if blob is None:
+                return None
             try:
-                trace = Trace.from_bytes(path.read_bytes())
-            except (OSError, TraceError):
+                trace = Trace.from_bytes(blob)
+            except TraceError:
                 return None
         return trace
 

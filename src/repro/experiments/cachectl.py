@@ -12,6 +12,10 @@ accumulates four kinds of state:
 * ``batches``  -- per-batch envelope spools (``batches/<nonce>.jsonl``);
   normally deleted the moment a batch settles, so anything found here
   is the residue of a run that died mid-flight;
+* ``queue``    -- queue-backend run directories (``queue/<run-id>/``:
+  pending/claimed/done job records, leases, worker health); removed
+  when a run closes cleanly, so leftovers are the residue of a run
+  that died mid-flight;
 * ``quarantine`` -- artifacts that failed integrity validation.
 
 Everything here is derived state: deleting any of it costs recompute
@@ -20,7 +24,9 @@ time, never correctness (content addressing recaptures on demand).
 and/or a total size budget (oldest files evicted first);
 :func:`artifact_counters` reads the hit/miss counters a schema>=4 run
 manifest aggregated; :func:`batch_totals` reads the schema-5 batch
-and shared-memory accounting.
+and shared-memory accounting; :func:`backend_totals` reads the
+schema-6 execution-backend health block (lease/failover counters,
+per-worker records).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ SECTIONS: Tuple[Tuple[str, str, str], ...] = (
     ("traces", "traces", "*.trace"),
     ("profiles", "profiles", "*"),
     ("batches", "batches", "*.jsonl"),
+    ("queue", "queue", "**/*"),
     ("quarantine", "quarantine", "*"),
 )
 
@@ -195,6 +202,27 @@ def batch_totals(
     }
 
 
+def backend_totals(
+    manifest_path: Optional[pathlib.Path] = None,
+) -> Optional[Dict]:
+    """Schema-6 execution-backend block of the last manifest: which
+    backend drove the run, how often it degraded to the local pool,
+    the summed lease/completion/failover counters, and the per-worker
+    health records.  ``None`` for older manifests."""
+    if manifest_path is None:
+        from .engine import RESULTS_DIR
+
+        manifest_path = RESULTS_DIR / "run_manifest.json"
+    try:
+        manifest = json.loads(pathlib.Path(manifest_path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or manifest.get("schema", 0) < 6:
+        return None
+    backend = manifest.get("backend")
+    return backend if isinstance(backend, dict) else None
+
+
 def _human(nbytes: int) -> str:
     value = float(nbytes)
     for unit in ("B", "KiB", "MiB", "GiB"):
@@ -247,4 +275,27 @@ def render_report(
         lines.append("last run batch dispatch (manifest schema 5):")
         for name in ("batches", "batch_points", "shm_segments_cleaned"):
             lines.append(f"  {name:<20} {batches[name]}")
+    backend = backend_totals(manifest_path)
+    if backend is not None:
+        lines.append(
+            f"last run execution backend (manifest schema 6): "
+            f"{backend.get('name', '?')}"
+            + (
+                f", degraded to local x{backend['degraded']}"
+                if backend.get("degraded")
+                else ""
+            )
+        )
+        totals = backend.get("totals") or {}
+        for name, value in sorted(totals.items()):
+            lines.append(f"  {name:<20} {value}")
+        workers = backend.get("workers") or {}
+        for worker_id in sorted(workers):
+            record = workers[worker_id]
+            jobs = record.get("jobs_done", 0)
+            reclaimed = record.get("leases_reclaimed", 0)
+            lines.append(
+                f"  worker {worker_id:<16} jobs_done={jobs} "
+                f"leases_reclaimed={reclaimed}"
+            )
     return "\n".join(lines)

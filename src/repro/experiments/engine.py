@@ -58,7 +58,10 @@ default 2), ``REPRO_JOB_TIMEOUT`` (per-job seconds, 0 = off),
 ``REPRO_FAULT_INJECT`` (fault plan), ``REPRO_SHM=0`` (disable the
 shared-memory trace plane), ``REPRO_BATCH`` (0 = per-job dispatch,
 1 = fuse each whole artifact group, N>1 = cap fused batches at N
-points; default 1).
+points; default 1), ``REPRO_BACKEND`` (``local`` = supervised pool,
+``queue`` = lease-based multi-worker work queue -- see
+:mod:`.backends`, which also reads ``REPRO_QUEUE_WORKERS``/
+``REPRO_LEASE_TTL``/``REPRO_QUEUE_POLL``/``REPRO_QUEUE_GRACE_S``).
 """
 
 from __future__ import annotations
@@ -73,13 +76,7 @@ import secrets
 import tempfile
 import time
 import traceback
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    CancelledError,
-    ProcessPoolExecutor,
-    wait,
-)
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 from typing import (
     Any,
     Callable,
@@ -89,7 +86,9 @@ from typing import (
     Sequence,
 )
 
+from . import backends as backends_mod
 from . import faults, plane
+from .store import quarantine_file
 
 #: Bump when the cached-result layout changes.
 CACHE_SCHEMA = 1
@@ -102,8 +101,11 @@ CACHE_SCHEMA = 1
 #: shared profile and compile hits -- see :mod:`.artifacts`); v5 adds
 #: batch accounting (``batches``/``batch_points``), shared-memory plane
 #: counters, per-job ``worker_pid``/``batched``, and a per-worker
-#: artifact-counter breakdown (``workers``).
-MANIFEST_SCHEMA = 5
+#: artifact-counter breakdown (``workers``); v6 adds the execution
+#: backend block (``backend``: requested backend, degradations,
+#: lease/heartbeat/failover counters, per-queue-worker health records
+#: -- see :mod:`.backends`).
+MANIFEST_SCHEMA = 6
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
@@ -282,6 +284,9 @@ def _run_job_batch(
             envelopes.append(envelope)
             spool.write(json.dumps(envelope) + "\n")
             spool.flush()
+            # fsync: the spool is read back after this process is
+            # SIGKILLed -- a page-cache-only tail would replay short.
+            os.fsync(spool.fileno())
     return {"status": "batch", "envelopes": envelopes}
 
 
@@ -429,6 +434,7 @@ class ExperimentEngine:
         resume: bool = False,
         job_timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, jobs) if jobs is not None else _env_jobs()
         if cache_dir is not None:
@@ -450,6 +456,15 @@ class ExperimentEngine:
         )
         self.retries = retries if retries is not None else _env_retries()
         self.retry_backoff = _env_retry_backoff()
+        #: Execution backend (``local``/``queue``, see :mod:`.backends`).
+        if backend is not None and backend not in backends_mod.BACKEND_NAMES:
+            raise ValueError(
+                f"backend={backend!r}; expected one of "
+                f"{backends_mod.BACKEND_NAMES}"
+            )
+        self.backend = (
+            backend if backend is not None else backends_mod.env_backend()
+        )
         #: When set (the CLI does), a partial manifest is written here if
         #: a run is interrupted mid-:meth:`map`.
         self.manifest_path: Optional[pathlib.Path] = None
@@ -478,6 +493,13 @@ class ExperimentEngine:
         self.batch_points = 0
         #: Shared-memory segments unlinked at run end.
         self.shm_segments_cleaned = 0
+        #: Times a queue run degraded to the local backend mid-map.
+        self.backend_degraded = 0
+        #: Lease/heartbeat/failover counters summed over every backend
+        #: this engine drove (see :meth:`Backend.health`).
+        self.backend_totals: Dict[str, int] = {}
+        #: Per-queue-worker health records (latest heartbeat wins).
+        self.backend_workers: Dict[str, Dict] = {}
         #: Prefix of the most recent parallel map's shm segments (kept
         #: after cleanup so tests can assert the namespace is empty).
         self.last_shm_prefix: Optional[str] = None
@@ -578,6 +600,13 @@ class ExperimentEngine:
                 "retries": self.retries,
                 "job_timeout_s": self.job_timeout,
                 "fault_inject": plan.spec() if plan else None,
+                "backend": self.backend,
+            },
+            "backend": {
+                "name": self.backend,
+                "degraded": self.backend_degraded,
+                "totals": self.backend_totals,
+                "workers": self.backend_workers,
             },
             "totals": {
                 "jobs": len(self.records),
@@ -643,11 +672,7 @@ class ExperimentEngine:
 
     def _quarantine(self, path: pathlib.Path) -> None:
         """Move an unreadable/stale cache entry aside for inspection."""
-        quarantine_dir = self.cache_dir / "quarantine"
-        try:
-            quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, quarantine_dir / path.name)
-        except OSError:
+        if quarantine_file(self.cache_dir / "quarantine", path) is None:
             return
         self.cache_quarantined += 1
 
@@ -697,6 +722,10 @@ class ExperimentEngine:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
+                handle.flush()
+                # fsync before the rename: without it a power loss can
+                # leave the durable name over torn page-cache contents.
+                os.fsync(handle.fileno())
             os.replace(tmp, self.cache_dir / f"{key}.json")
         except OSError:
             try:
@@ -748,6 +777,9 @@ class ExperimentEngine:
             self._journal_handle = open(path, "a")
         self._journal_handle.write(json.dumps(entry) + "\n")
         self._journal_handle.flush()
+        # fsync: ``--resume`` replays this file after crashes/power
+        # loss; flush alone leaves the tail in the page cache.
+        os.fsync(self._journal_handle.fileno())
 
     def close_journal(self) -> None:
         if self._journal_handle is not None:
@@ -855,7 +887,7 @@ class ExperimentEngine:
                     shm_prefix = plane.new_prefix()
                     os.environ[plane.PREFIX_ENV] = shm_prefix
                     plane.register_run(shm_prefix)
-                self._run_supervised(
+                self._run_parallel(
                     worker, payloads, labels, keys, states, pending, tick,
                     groups=groups,
                 )
@@ -985,23 +1017,80 @@ class ExperimentEngine:
             )
             self._absorb(i, 0, envelope, labels, keys, states, tick)
 
-    def _run_supervised(
+    def _worker_env(self) -> Dict[str, str]:
+        return {
+            "REPRO_CACHE_DIR": str(self.cache_dir),
+            plane.PREFIX_ENV: os.environ.get(plane.PREFIX_ENV, ""),
+        }
+
+    def _run_parallel(
         self, worker, payloads, labels, keys, states, pending, tick,
         groups=None,
     ) -> None:
-        """Pool execution under supervision.
+        """Route the parallel path through the configured backend.
 
-        At most ``jobs`` futures are outstanding at once so a submitted
-        job starts (approximately) immediately, which is what makes a
-        submission-time deadline a faithful per-job timeout.  Queue
-        entries are ``(ids, attempt, not_before)`` where ``ids`` is a
-        tuple of payload indices: a single-element tuple is a plain
-        job, a longer one a fused batch (:func:`_run_job_batch`) whose
-        deadline scales with its point count.  Infrastructure faults
-        (dead worker process, timeout) recover any points the batch
-        already spooled, then requeue the remainder with the attempt
-        charged and an exponential-backoff-with-jitter delay; innocent
-        jobs caught in a pool kill requeue at no cost.
+        ``queue`` drives a :class:`~.backends.QueueBackend` and, when
+        it trips its circuit breaker (:class:`BackendUnavailable`: no
+        live workers past the respawn budget, repeated shared-dir I/O
+        errors), *degrades*: every job still pending is re-driven
+        through a fresh :class:`~.backends.LocalPoolBackend` so the
+        sweep completes on the local host.  ``local`` is today's
+        supervised pool, unchanged.
+        """
+        if self.backend == "queue":
+            backend = backends_mod.QueueBackend(
+                self.cache_dir / "queue",
+                workers=backends_mod.env_queue_workers(self.jobs),
+                retries=self.retries,
+                worker_env=self._worker_env(),
+            )
+            try:
+                self._run_backend(
+                    backend, worker, payloads, labels, keys, states,
+                    pending, tick, groups=groups,
+                )
+                return
+            except backends_mod.BackendUnavailable:
+                self.backend_degraded += 1
+                pending = [
+                    i for i in pending if states[i].status == "pending"
+                ]
+                if not pending:
+                    return
+        local = backends_mod.LocalPoolBackend(
+            max_workers=min(self.jobs, len(pending)),
+            job_timeout=self.job_timeout,
+            worker_env=self._worker_env(),
+        )
+        self._run_backend(
+            local, worker, payloads, labels, keys, states, pending,
+            tick, groups=groups,
+        )
+
+    def _merge_backend_health(self, health: Dict) -> None:
+        for name, value in (health.get("counters") or {}).items():
+            if isinstance(value, (int, float)):
+                self.backend_totals[name] = (
+                    self.backend_totals.get(name, 0) + value
+                )
+        self.backend_workers.update(health.get("workers") or {})
+
+    def _run_backend(
+        self, backend, worker, payloads, labels, keys, states, pending,
+        tick, groups=None,
+    ) -> None:
+        """Generic driver: scheduling policy over a :class:`Backend`.
+
+        Queue entries are ``(ids, attempt, not_before)`` where ``ids``
+        is a tuple of payload indices: a single-element tuple is a
+        plain job, a longer one a fused batch (:func:`_run_job_batch`).
+        The backend turns submissions into :class:`BackendEvent`\\ s:
+        ``done`` envelopes are absorbed (batch or single), ``error``
+        is a deterministic failure (never retried), ``infra`` recovers
+        any spooled batch points then retries the remainder with the
+        attempt charged and exponential-backoff-with-jitter delay, and
+        ``requeue`` (an innocent victim of a pool kill) retries
+        uncharged.
 
         Artifact groups (see :meth:`map`): the first pending member of
         each group enters the queue as leader; the rest wait in
@@ -1009,19 +1098,10 @@ class ExperimentEngine:
         terminal status (ok *or* failed -- followers of a failed
         leader still run, they just find a cold artifact store).  On
         release the group's followers are fused into batches of up to
-        ``REPRO_BATCH`` points, so the whole group pays for one trace
-        load/map and one layered replay prep.
+        ``REPRO_BATCH`` points (backends may override: the queue
+        backend forces per-point jobs, its unit of failover).
         """
-        max_workers = min(self.jobs, len(pending))
-        timeout = self.job_timeout
-        poll = (
-            max(0.01, min(0.1, timeout / 5.0)) if timeout else 0.1
-        )
-        batch_cap = _env_batch()
-        worker_env = {
-            "REPRO_CACHE_DIR": str(self.cache_dir),
-            plane.PREFIX_ENV: os.environ.get(plane.PREFIX_ENV, ""),
-        }
+        batch_cap = backend.batch_cap(_env_batch())
         queue: List[tuple] = []
         held: Dict[Any, List[int]] = {}
         leaders: Dict[Any, int] = {}
@@ -1035,61 +1115,69 @@ class ExperimentEngine:
             else:
                 held.setdefault(group, []).append(i)
         outstanding: Dict[Any, tuple] = {}
-        pool: Optional[ProcessPoolExecutor] = None
 
-        def settle(future, ids, attempt, spool) -> bool:
-            """Fold a completed future; returns True if the pool broke."""
-            try:
-                envelope = future.result()
-            except (BrokenProcessPool, CancelledError) as exc:
-                remaining = self._recover_batch(
-                    ids, attempt, spool, labels, keys, states, tick
-                )
-                self._infra_fault(
-                    queue, remaining, attempt, "broken-pool", exc,
-                    labels, keys, states, tick,
-                )
-                return True
-            except Exception as exc:
+        def absorb_event(event) -> None:
+            meta = outstanding.pop(event.handle, None)
+            if meta is None:
+                return
+            ids, attempt, spool = meta
+            used = event.attempt if event.attempt is not None else attempt
+            if event.kind == "done":
+                envelope = event.envelope or {}
+                if envelope.get("status") == "batch":
+                    self._discard_spool(spool)
+                    envelopes = envelope.get("envelopes") or []
+                    for j, env in enumerate(envelopes[: len(ids)]):
+                        self._absorb(
+                            ids[j], used, env, labels, keys, states,
+                            tick, batched=True,
+                        )
+                    for i in ids[len(envelopes):]:
+                        states[i].attempts = attempt + 1
+                        self._fail(
+                            i,
+                            "failed",
+                            {
+                                "type": "IncompleteBatch",
+                                "message": "batch returned fewer "
+                                "envelopes than points",
+                                "traceback": "",
+                            },
+                            labels, keys, states,
+                        )
+                        tick(i)
+                    self.batches += 1
+                    self.batch_points += min(len(envelopes), len(ids))
+                else:
+                    self._discard_spool(spool)
+                    self._absorb(
+                        ids[0], used, envelope, labels, keys, states,
+                        tick,
+                    )
+            elif event.kind == "error":
                 # e.g. the envelope failed to unpickle: deterministic.
                 self._discard_spool(spool)
                 for i in ids:
                     states[i].attempts = attempt + 1
                     self._fail(
-                        i, "failed", _error_dict(exc), labels, keys, states
-                    )
-                    tick(i)
-                return False
-            if envelope.get("status") == "batch":
-                self._discard_spool(spool)
-                envelopes = envelope.get("envelopes") or []
-                for j, env in enumerate(envelopes[: len(ids)]):
-                    self._absorb(
-                        ids[j], attempt, env, labels, keys, states, tick,
-                        batched=True,
-                    )
-                for i in ids[len(envelopes):]:
-                    states[i].attempts = attempt + 1
-                    self._fail(
-                        i,
-                        "failed",
-                        {
-                            "type": "IncompleteBatch",
-                            "message": "batch returned fewer envelopes "
-                            "than points",
-                            "traceback": "",
-                        },
+                        i, "failed", _error_dict(event.error),
                         labels, keys, states,
                     )
                     tick(i)
-                self.batches += 1
-                self.batch_points += min(len(envelopes), len(ids))
-            else:
-                self._discard_spool(spool)
-                self._absorb(
-                    ids[0], attempt, envelope, labels, keys, states, tick
+            elif event.kind == "infra":
+                remaining = self._recover_batch(
+                    ids, attempt, spool, labels, keys, states, tick
                 )
-            return False
+                self._infra_fault(
+                    queue, remaining, attempt, event.fault, event.error,
+                    labels, keys, states, tick,
+                )
+            elif event.kind == "requeue":
+                remaining = self._recover_batch(
+                    ids, attempt, spool, labels, keys, states, tick
+                )
+                if remaining:
+                    queue.append((remaining, attempt, 0.0))
 
         try:
             while queue or outstanding or held:
@@ -1099,141 +1187,48 @@ class ExperimentEngine:
                             for ids in _fuse(held.pop(group), batch_cap):
                                 queue.append((ids, 0, 0.0))
                 now = time.monotonic()
-                if pool is None:
-                    pool = ProcessPoolExecutor(
-                        max_workers=max_workers,
-                        initializer=_pool_worker_init,
-                        initargs=(worker_env,),
-                    )
-                # Fill free worker slots with ready queue entries.
-                pool_died = False
                 deferred: List[tuple] = []
                 for entry in queue:
                     ids, attempt, not_before = entry
-                    if pool_died or len(outstanding) >= max_workers \
-                            or not_before > now:
+                    if not_before > now or not backend.has_capacity():
                         deferred.append(entry)
                         continue
-                    spool = None
-                    try:
-                        if len(ids) == 1:
-                            future = pool.submit(
-                                _run_timed, worker, payloads[ids[0]],
-                                labels[ids[0]], attempt,
-                            )
-                        else:
-                            spool = self._new_spool()
-                            future = pool.submit(
-                                _run_job_batch,
-                                worker,
-                                [(payloads[i], labels[i]) for i in ids],
-                                attempt,
-                                str(spool),
-                            )
-                    except Exception:
-                        # Pool broke between loops; requeue at no cost.
+                    spool = (
+                        self._new_spool() if len(ids) > 1 else None
+                    )
+                    handle = backend.submit(
+                        ids, attempt, worker,
+                        [(payloads[i], labels[i]) for i in ids],
+                        spool,
+                    )
+                    if handle is None:
+                        # Backend cannot take it right now (e.g. the
+                        # pool broke between loops); re-offer uncharged.
                         self._discard_spool(spool)
                         deferred.append(entry)
-                        pool_died = True
                         continue
-                    # A fused batch gets one per-point budget per point.
-                    deadline = (
-                        now + timeout * len(ids) if timeout else None
-                    )
-                    outstanding[future] = (ids, attempt, deadline, spool)
+                    outstanding[handle] = (tuple(ids), attempt, spool)
                 queue[:] = deferred
-
-                if pool_died:
-                    self._drain_broken(outstanding, queue, settle)
-                    _kill_pool(pool)
-                    pool = None
-                    continue
 
                 if not outstanding:
                     if queue:
                         wake = min(entry[2] for entry in queue)
                         time.sleep(
-                            max(0.0, min(wake - time.monotonic(), 1.0))
+                            max(0.0, min(wake - time.monotonic(), 0.1))
                         )
                     continue
 
-                wait_timeout = poll if (timeout or queue) else None
-                done, _ = wait(
-                    set(outstanding),
-                    timeout=wait_timeout,
-                    return_when=FIRST_COMPLETED,
-                )
-                broken = False
-                for future in done:
-                    ids, attempt, _, spool = outstanding.pop(future)
-                    broken = settle(future, ids, attempt, spool) or broken
-                if broken:
-                    # Every other future on the dead pool resolves
-                    # exceptionally as well; retry them all, then
-                    # respawn.
-                    self._drain_broken(outstanding, queue, settle)
-                    _kill_pool(pool)
-                    pool = None
-                    continue
-
-                if timeout:
-                    now = time.monotonic()
-                    expired = {
-                        future
-                        for future, (_, _, deadline, _) in
-                        outstanding.items()
-                        if deadline is not None
-                        and now >= deadline
-                        and not future.done()
-                    }
-                    if expired:
-                        # The watchdog can only kill whole pools, so
-                        # completed-in-the-meantime futures are folded
-                        # normally and innocent running jobs requeue
-                        # with no attempt charged (minus any points
-                        # their batch already spooled).
-                        for future, (ids, attempt, _, spool) in list(
-                            outstanding.items()
-                        ):
-                            if future in expired:
-                                exc = TimeoutError(
-                                    f"job {labels[ids[0]]!r} "
-                                    f"(batch of {len(ids)}) exceeded "
-                                    f"{timeout * len(ids):g}s "
-                                    f"(attempt {attempt})"
-                                )
-                                remaining = self._recover_batch(
-                                    ids, attempt, spool,
-                                    labels, keys, states, tick,
-                                )
-                                self._infra_fault(
-                                    queue, remaining, attempt,
-                                    "timeout", exc,
-                                    labels, keys, states, tick,
-                                )
-                            elif future.done():
-                                settle(future, ids, attempt, spool)
-                            else:
-                                remaining = self._recover_batch(
-                                    ids, attempt, spool,
-                                    labels, keys, states, tick,
-                                )
-                                if remaining:
-                                    queue.append((remaining, attempt, 0.0))
-                        outstanding.clear()
-                        _kill_pool(pool)
-                        pool = None
-        except KeyboardInterrupt:
-            if pool is not None:
-                for future in outstanding:
-                    future.cancel()
-                _kill_pool(pool)
-            for _, _, _, spool in outstanding.values():
+                for event in backend.poll():
+                    absorb_event(event)
+        except (KeyboardInterrupt, backends_mod.BackendUnavailable):
+            backend.cancel()
+            for _, _, spool in outstanding.values():
                 self._discard_spool(spool)
             raise
         else:
-            if pool is not None:
-                pool.shutdown(wait=True)
+            backend.close()
+        finally:
+            self._merge_backend_health(backend.health())
 
     # -- batch spools ------------------------------------------------------
 
@@ -1294,17 +1289,6 @@ class ExperimentEngine:
             self.batches += 1
             self.batch_points += done
         return tuple(ids[done:])
-
-    def _drain_broken(
-        self, outstanding: Dict, queue: List[tuple], settle
-    ) -> bool:
-        """Fold every remaining future of a broken pool (they all
-        resolve promptly once the pool notices the dead worker)."""
-        broken = False
-        for future, (ids, attempt, _, spool) in list(outstanding.items()):
-            broken = settle(future, ids, attempt, spool) or broken
-        outstanding.clear()
-        return broken
 
     def _infra_fault(
         self, queue, ids, attempt, kind, exc, labels, keys, states, tick
