@@ -230,6 +230,12 @@ def _cmd_bench(args) -> None:
 def _cmd_cache(args) -> None:
     from .experiments import cachectl
 
+    if getattr(args, "action", "report") == "verify":
+        report = cachectl.verify(quarantine=args.quarantine)
+        print(cachectl.render_verify(report))
+        if report.mismatched or report.orphaned:
+            sys.exit(1)
+        return
     if args.prune or args.max_age_days is not None \
             or args.max_size_mb is not None:
         removed = cachectl.prune(
@@ -366,6 +372,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     cache = sub.add_parser("cache")
+    cache.add_argument(
+        "action",
+        nargs="?",
+        default="report",
+        choices=("report", "verify"),
+        help="'report' (default): list sections and last-run "
+        "counters; 'verify': offline re-hash of every store blob "
+        "against its digest sidecar (exit 1 on mismatches/orphans)",
+    )
+    cache.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="with 'verify': move mismatched blobs to quarantine/ "
+        "(they recompute transparently on next use)",
+    )
     cache.add_argument(
         "--prune",
         action="store_true",

@@ -13,6 +13,14 @@ replay-everywhere layer on top of the experiment cache:
   replayed (bit-identically) for every later simulation of the same
   program -- across widths, ports, cache geometry, BTB/RAS/DBB sizing,
   and (for baseline programs) across direction predictors.
+* **Prep slices** (``.../preps/<key>.prep``): the derived replay-prep
+  layers of one ``(trace content digest, prediction mode, config
+  class)`` -- batched predictor bits, RAS/BTB miss sets, stream action
+  codes and the cache-tag pre-pass outputs
+  (:mod:`repro.uarch.replay_vec`) -- serialised as numpy columns in a
+  versioned container.  Built at most once fleet-wide, attached
+  zero-copy from the shared-memory plane by pool siblings and from
+  the digest-verified blob store by later runs and other hosts.
 * **Branch traces** (``.../profiles/<key>.btrace``): the functional
   TRAIN branch-outcome stream, predictor-independent, shared by every
   predictor a sensitivity ladder measures it with.
@@ -44,6 +52,9 @@ Environment knobs:
   ``results/BENCH_trace_replay.json``).
 * ``REPRO_TRACE_LRU_MB``   -- in-process hot-trace LRU budget
   (default 256 MiB).
+* ``REPRO_PREP_CACHE=0``   -- disable persisted replay-prep slices
+  (prep layers recompute per process, exactly the pre-slice
+  behaviour; results are bit-identical either way).
 
 Counter semantics (reported per job via :meth:`ArtifactStore.mark` /
 :meth:`ArtifactStore.delta`, aggregated by manifest schema 4):
@@ -51,6 +62,13 @@ Counter semantics (reported per job via :meth:`ArtifactStore.mark` /
 ``trace_replays`` counts simulations served from a trace,
 ``trace_hits``/``trace_misses`` count store lookups (memory or disk),
 ``profile_*``/``btrace_*``/``compile_*`` likewise;
+``prep_hits``/``prep_misses`` count prep-slice lookups (shm or disk;
+layers already on the in-process trace object move no counter),
+``prep_builds`` counts slices computed from scratch -- in a warm
+fleet exactly one per ``(trace, predictor, config class)`` --
+``prep_quarantined`` counts corrupt slice blobs sidelined,
+``shm_prep_publishes``/``shm_prep_attaches`` the prep traffic on the
+shared-memory plane;
 ``shm_publishes``/``shm_attaches`` count shared-memory trace-plane
 traffic (:mod:`.plane`) -- a publish is one worker exporting decoded
 columns for the whole pool, an attach is a zero-copy map that skipped
@@ -91,6 +109,10 @@ _COUNTER_NAMES = (
     "trace_captures",
     "trace_replays",
     "trace_quarantined",
+    "prep_hits",
+    "prep_misses",
+    "prep_builds",
+    "prep_quarantined",
     "btrace_hits",
     "btrace_misses",
     "profile_hits",
@@ -99,6 +121,8 @@ _COUNTER_NAMES = (
     "compile_misses",
     "shm_publishes",
     "shm_attaches",
+    "shm_prep_publishes",
+    "shm_prep_attaches",
     "store_puts",
     "store_put_retries",
     "store_get_retries",
@@ -138,6 +162,17 @@ def replay_enabled() -> bool:
     return _env_flag("REPRO_TRACE_REPLAY")
 
 
+def prep_cache_enabled() -> bool:
+    """Persisted replay-prep slices (``REPRO_PREP_CACHE``): the
+    derived-layer cache that lets a replay skip the batched predictor
+    pass, the cache-tag pre-pass and the BTB re-simulation entirely
+    when any worker, run, or host already computed them for the same
+    ``(trace content, predictor, config class)``.  Off, prep layers
+    are recomputed per process exactly as before (results are
+    bit-identical either way)."""
+    return _env_flag("REPRO_PREP_CACHE")
+
+
 def _env_lru_bytes() -> int:
     raw = os.environ.get("REPRO_TRACE_LRU_MB", "").strip()
     mb = float(raw) if raw else 256.0
@@ -150,6 +185,7 @@ class ArtifactStore:
     Layout (sharing the result cache's root and quarantine)::
 
         <cache_dir>/traces/<sha256>.trace
+        <cache_dir>/preps/<sha256>.prep
         <cache_dir>/profiles/<sha256>.btrace
         <cache_dir>/profiles/<sha256>.json
         <cache_dir>/quarantine/        <- corrupt artifacts land here
@@ -165,6 +201,7 @@ class ArtifactStore:
             )
         self.cache_dir = pathlib.Path(cache_dir)
         self.traces_dir = self.cache_dir / "traces"
+        self.preps_dir = self.cache_dir / "preps"
         self.profiles_dir = self.cache_dir / "profiles"
         self.quarantine_dir = self.cache_dir / "quarantine"
         self.counters: Dict[str, int] = {n: 0 for n in _COUNTER_NAMES}
@@ -217,19 +254,25 @@ class ArtifactStore:
         """Store-protocol name of an artifact path (root-relative)."""
         return path.relative_to(self.cache_dir).as_posix()
 
-    def _quarantine(self, path: pathlib.Path) -> None:
+    def _quarantine(
+        self, path: pathlib.Path, counter: str = "trace_quarantined"
+    ) -> None:
         if quarantine_file(self.quarantine_dir, path) is None:
             return
         # The blob moved; drop its now-orphaned digest sidecar too.
         self.store.delete(self._store_name(path))
-        self._bump("trace_quarantined")
+        self._bump(counter)
 
     def _write_atomic(self, path: pathlib.Path, blob: bytes) -> None:
         """Durable artifact write through the store protocol: fsync'd
         atomic rename plus a digest sidecar verified on every read."""
         self.store.put(self._store_name(path), blob)
 
-    def _read_verified(self, path: pathlib.Path) -> Optional[bytes]:
+    def _read_verified(
+        self,
+        path: pathlib.Path,
+        counter: str = "trace_quarantined",
+    ) -> Optional[bytes]:
         """Digest-verified read; a torn/corrupt blob is quarantined by
         the store layer and reported as a miss (counted as a
         quarantined artifact up here too)."""
@@ -239,7 +282,7 @@ class ArtifactStore:
             blob is None
             and self.store.counters.get("verify_failures", 0) > before
         ):
-            self._bump("trace_quarantined")
+            self._bump(counter)
         return blob
 
     # -- traces ------------------------------------------------------------
@@ -326,6 +369,75 @@ class ArtifactStore:
         if faults.should_corrupt_trace(key):
             blob = blob[: max(1, len(blob) // 2)]
         self._write_atomic(self.traces_dir / f"{key}.trace", blob)
+
+    # -- persisted replay-prep slices --------------------------------------
+
+    def _ensure_prep(self, program, trace: Trace, config) -> None:
+        """Attach (or build and persist) the replay-prep slice one
+        replay of ``trace`` under ``config`` needs.
+
+        Lookup order mirrors :meth:`load_trace`: layers already on the
+        trace object (no counter movement -- in-process memoisation is
+        not a cache event), then the shared-memory plane (zero-copy
+        attach published by a sibling worker), then the digest-verified
+        blob store (``preps/<key>.prep``, shared across runs and --
+        through the queue backend's shared cache root -- across
+        hosts).  A miss builds every layer once, publishes the slice
+        to the plane and persists it, so the fleet-wide build count
+        per ``(trace content, predictor, config class)`` is exactly
+        one.  Corrupt blobs are quarantined by the store layer and
+        rebuilt transparently -- never a wrong answer, at worst a
+        recompute.
+        """
+        if not prep_cache_enabled():
+            return
+        from ..uarch.replay import _vectorized_enabled
+
+        if not _vectorized_enabled():
+            return
+        from ..uarch import replay_vec
+
+        key = replay_vec.prep_slice_key(program, trace, config)
+        if key is None:
+            return
+        if replay_vec.prep_slice_ready(program, trace, config):
+            return
+        buf = plane.attach_prep(key)
+        if buf is not None and replay_vec.attach_prep_slice(
+            program, trace, config, buf
+        ):
+            self._bump("prep_hits")
+            self._bump("shm_prep_attaches")
+            return
+        if trace_cache_enabled():
+            path = self.preps_dir / f"{key}.prep"
+            blob = self._read_verified(path, counter="prep_quarantined")
+            if blob is not None:
+                if replay_vec.attach_prep_slice(
+                    program, trace, config, blob
+                ):
+                    self._bump("prep_hits")
+                    if plane.publish_prep(key, blob) is not None:
+                        self._bump("shm_prep_publishes")
+                    try:
+                        # Keep hot slices out of --max-age pruning's
+                        # reach, same as disk trace hits.
+                        os.utime(path)
+                    except OSError:
+                        pass
+                    return
+                # Digest-verified bytes that still fail container/key
+                # validation: quarantine for inspection and rebuild.
+                self._quarantine(path, counter="prep_quarantined")
+        self._bump("prep_misses")
+        blob = replay_vec.build_prep_slice(program, trace, config)
+        if blob is None:
+            return  # outside the vectorized path: no prep to share
+        self._bump("prep_builds")
+        if plane.publish_prep(key, blob) is not None:
+            self._bump("shm_prep_publishes")
+        if trace_cache_enabled():
+            self._write_atomic(self.preps_dir / f"{key}.prep", blob)
 
     # -- branch traces (functional TRAIN runs) -----------------------------
 
@@ -593,6 +705,7 @@ class ArtifactStore:
         trace = self.load_trace(key)
         if trace is not None:
             self._bump("trace_replays")
+            self._ensure_prep(program, trace, config)
             return replay_inorder(program, trace, config)
         capture = TraceCapture()
         result = InOrderCore(config).run(
@@ -633,6 +746,7 @@ class ArtifactStore:
         trace = self.load_trace(key)
         if trace is not None:
             self._bump("trace_replays")
+            self._ensure_prep(program, trace, config)
             return replay_ooo(program, trace, config, window=window)
         return OutOfOrderCore(config, window=window).run(
             program, max_instructions=max_instructions

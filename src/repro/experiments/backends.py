@@ -45,6 +45,15 @@ Queue directory layout (one run under ``<cache>/queue/<token>/``)::
     tmp/                 staging for every atomic rename/link
     stop                 graceful-shutdown flag the parent writes
 
+Because every queue worker roots its :class:`~.artifacts.
+ArtifactStore` at the shared cache directory, the content-addressed
+artifacts -- traces *and* the persisted replay-prep slices
+(``preps/``) -- warm-start across hosts: the first worker anywhere in
+the fleet to replay a ``(trace, predictor, config class)`` point pays
+the prep build, and every other host attaches the digest-verified
+slice from the shared store (the ``prep_builds``/``prep_hits``
+counters in the manifest's artifact totals prove the single build).
+
 Distributed fault kinds (:mod:`.faults`): ``lease_expire`` (worker
 silently drops a claimed job), ``worker_vanish`` (``os._exit`` after
 claim), ``stale_heartbeat`` (health record stops renewing),

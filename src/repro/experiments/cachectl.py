@@ -7,6 +7,10 @@ accumulates four kinds of state:
   cache, keyed by job fingerprint);
 * ``runs``    -- per-run checkpoint journals (``runs/<run-id>.jsonl``);
 * ``traces``  -- captured instruction traces (``traces/<key>.trace``);
+* ``preps``   -- persisted replay-prep slices (``preps/<key>.prep``):
+  the derived predictor/cache/BTB layers one trace replay needs,
+  shared across workers, runs and hosts (see
+  :mod:`repro.uarch.replay_vec`);
 * ``profiles`` -- TRAIN branch traces and measured profiles
   (``profiles/<key>.btrace`` / ``.json``);
 * ``batches``  -- per-batch envelope spools (``batches/<nonce>.jsonl``);
@@ -21,7 +25,15 @@ accumulates four kinds of state:
 Everything here is derived state: deleting any of it costs recompute
 time, never correctness (content addressing recaptures on demand).
 :func:`scan` sizes each section; :func:`prune` applies an age cutoff
-and/or a total size budget (oldest files evicted first);
+and/or a total size budget (oldest files evicted first).  Store-layer
+``.sum`` digest sidecars (:mod:`.store`) are handled as part of their
+blob: a blob entry's size includes its sidecar, pruning a blob
+removes the sidecar with it, and a sidecar whose blob is already gone
+(orphaned by pre-fix prunes) is listed -- and prunable -- on its own.
+Only regular files are ever entries: the ``queue`` section's
+recursive glob walks run *directories*, which are never counted and
+never unlinked.  :func:`verify` offline re-hashes every sidecarred
+blob (``repro cache verify``);
 :func:`artifact_counters` reads the hit/miss counters a schema>=4 run
 manifest aggregated; :func:`batch_totals` reads the schema-5 batch
 and shared-memory accounting; :func:`backend_totals` reads the
@@ -43,6 +55,7 @@ SECTIONS: Tuple[Tuple[str, str, str], ...] = (
     ("results", "", "*.json"),
     ("runs", "runs", "*.jsonl"),
     ("traces", "traces", "*.trace"),
+    ("preps", "preps", "*.prep"),
     ("profiles", "profiles", "*"),
     ("batches", "batches", "*.jsonl"),
     ("queue", "queue", "**/*"),
@@ -72,31 +85,66 @@ class SectionStats:
     )
 
 
+def _sidecar_suffix() -> str:
+    from .store import FileStore
+
+    return FileStore.SIDECAR_SUFFIX
+
+
 def scan(
     cache_dir: Optional[pathlib.Path] = None,
     now: Optional[float] = None,
 ) -> Dict[str, SectionStats]:
-    """Size every cache section (missing directories scan as empty)."""
+    """Size every cache section (missing directories scan as empty).
+
+    Entries are regular files only -- the ``queue`` section's
+    recursive glob also walks run directories, which must never be
+    counted (their inode sizes are not cache payload) nor handed to
+    prune's ``unlink``.  A store-layer digest sidecar is not its own
+    entry: its size is folded into its blob's entry so the pair is
+    budgeted and pruned as a unit.  A sidecar whose blob is gone
+    (orphaned by pre-fix prunes) *is* its own entry, so prune can
+    finally collect it.
+    """
     root = cache_root(cache_dir)
     now = time.time() if now is None else now
+    suffix = _sidecar_suffix()
     report: Dict[str, SectionStats] = {}
     for name, subdir, pattern in SECTIONS:
         stats = SectionStats(name=name)
         directory = root / subdir if subdir else root
         if directory.is_dir():
-            for path in sorted(directory.glob(pattern)):
+            matches = set(directory.glob(pattern))
+            if not pattern.endswith(suffix):
+                # Narrow globs (``*.trace``) never see their blobs'
+                # sidecars; include them so orphans cannot accumulate
+                # invisibly forever.
+                matches.update(directory.glob(pattern + suffix))
+            for path in sorted(matches):
                 if not path.is_file():
                     continue
+                if path.name.endswith(suffix):
+                    blob = path.parent / path.name[: -len(suffix)]
+                    if blob.is_file():
+                        continue  # accounted with its blob
                 try:
                     stat = path.stat()
                 except OSError:
                     continue
+                size = stat.st_size
+                if not path.name.endswith(suffix):
+                    sidecar = path.parent / (path.name + suffix)
+                    try:
+                        if sidecar.is_file():
+                            size += sidecar.stat().st_size
+                    except OSError:
+                        pass
                 stats.files += 1
-                stats.bytes += stat.st_size
+                stats.bytes += size
                 stats.oldest_age_s = max(
                     stats.oldest_age_s, now - stat.st_mtime
                 )
-                stats.entries.append((stat.st_mtime, stat.st_size, path))
+                stats.entries.append((stat.st_mtime, size, path))
         report[name] = stats
     return report
 
@@ -152,12 +200,133 @@ def _remove(
     size: int,
     removed: Dict[str, Tuple[int, int]],
 ) -> None:
+    """Unlink one scan entry: the file plus -- when the entry is a
+    store blob -- its digest sidecar, as a unit.  (``_remove`` used to
+    unlink only the blob, stranding ``.sum`` sidecars that the narrow
+    section globs then never matched again.)  ``size`` is the entry's
+    scan size, which already includes the sidecar."""
     try:
         path.unlink()
     except OSError:
         return
+    count = 1
+    suffix = _sidecar_suffix()
+    if not path.name.endswith(suffix):
+        try:
+            (path.parent / (path.name + suffix)).unlink()
+            count += 1
+        except OSError:
+            pass
     files, nbytes = removed[section]
-    removed[section] = (files + 1, nbytes + size)
+    removed[section] = (files + count, nbytes + size)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one offline integrity sweep (:func:`verify`)."""
+
+    checked: int = 0
+    ok: int = 0
+    #: Blobs whose bytes no longer hash to their recorded digest.
+    mismatched: List[pathlib.Path] = field(default_factory=list)
+    #: Sidecars whose blob is gone entirely.
+    orphaned: List[pathlib.Path] = field(default_factory=list)
+    #: Store-section blobs with no sidecar (pre-sidecar writes,
+    #: served unverified by the store -- worth knowing about).
+    unverified: int = 0
+    #: Mismatched blobs moved aside (``quarantine=True`` only).
+    quarantined: List[pathlib.Path] = field(default_factory=list)
+
+
+#: Sections whose blobs the store layer writes with digest sidecars;
+#: :func:`verify` also counts their sidecar-less blobs as unverified.
+_STORE_SECTIONS = ("traces", "preps", "profiles")
+
+
+def verify(
+    cache_dir: Optional[pathlib.Path] = None,
+    quarantine: bool = False,
+) -> VerifyReport:
+    """Offline integrity sweep: re-hash every sidecarred blob under
+    the cache root against its recorded digest (``repro cache
+    verify``).
+
+    The hot path only verifies a blob when something *reads* it; this
+    walks everything at rest, so bit rot or a torn transfer on a
+    shared cache is found before a run trips over it.  The digest
+    check itself is the store layer's (:meth:`.store.FileStore.
+    verify_blob`) -- one hashing discipline, two entry points.  With
+    ``quarantine=True`` mismatched blobs move to ``quarantine/`` (and
+    their sidecars are dropped) exactly as a verified read would have
+    done; recompute stays transparent either way.
+    """
+    from .store import FileStore, quarantine_file
+
+    root = cache_root(cache_dir)
+    suffix = _sidecar_suffix()
+    report = VerifyReport()
+    if not root.is_dir():
+        return report
+    store = FileStore(root)
+    quarantine_dir = root / "quarantine"
+    for sidecar in sorted(root.rglob(f"*{suffix}")):
+        if quarantine_dir in sidecar.parents or not sidecar.is_file():
+            continue
+        blob = sidecar.parent / sidecar.name[: -len(suffix)]
+        name = blob.relative_to(root).as_posix()
+        status = store.verify_blob(name)
+        if status == "missing":
+            report.orphaned.append(sidecar)
+            continue
+        report.checked += 1
+        if status == "ok":
+            report.ok += 1
+        elif status == "mismatch":
+            report.mismatched.append(blob)
+            if quarantine:
+                if quarantine_file(quarantine_dir, blob) is not None:
+                    report.quarantined.append(blob)
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+    for section in _STORE_SECTIONS:
+        directory = root / section
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.iterdir()):
+            if not path.is_file() or path.name.endswith(suffix):
+                continue
+            if not (path.parent / (path.name + suffix)).is_file():
+                report.unverified += 1
+    return report
+
+
+def render_verify(report: VerifyReport) -> str:
+    """Human-readable :func:`verify` outcome."""
+    lines = [
+        f"verified {report.checked} blobs: {report.ok} ok, "
+        f"{len(report.mismatched)} mismatched"
+        + (
+            f" ({len(report.quarantined)} quarantined)"
+            if report.quarantined
+            else ""
+        )
+    ]
+    for blob in report.mismatched:
+        lines.append(f"  MISMATCH {blob}")
+    if report.orphaned:
+        lines.append(
+            f"{len(report.orphaned)} orphaned sidecars (blob gone):"
+        )
+        for sidecar in report.orphaned:
+            lines.append(f"  ORPHAN   {sidecar}")
+    if report.unverified:
+        lines.append(
+            f"{report.unverified} blobs have no digest sidecar "
+            "(pre-sidecar writes; served unverified)"
+        )
+    return "\n".join(lines)
 
 
 def artifact_counters(

@@ -104,8 +104,13 @@ CACHE_SCHEMA = 1
 #: artifact-counter breakdown (``workers``); v6 adds the execution
 #: backend block (``backend``: requested backend, degradations,
 #: lease/heartbeat/failover counters, per-queue-worker health records
-#: -- see :mod:`.backends`).
-MANIFEST_SCHEMA = 6
+#: -- see :mod:`.backends`); v7 adds the persisted replay-prep slice
+#: counters to the per-job/total artifact blocks (``prep_hits``/
+#: ``prep_misses``/``prep_builds``/``prep_quarantined`` plus
+#: ``shm_prep_publishes``/``shm_prep_attaches`` -- see
+#: :mod:`.artifacts`): a warm fleet shows exactly one ``prep_builds``
+#: per (trace, predictor, config class) and hits everywhere else.
+MANIFEST_SCHEMA = 7
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"

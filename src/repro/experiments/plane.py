@@ -43,6 +43,14 @@ Lifecycle -- leak-proof by construction:
   worker that was killed mid-batch -- whose names the parent never
   learned -- are reclaimed.
 
+The plane also carries *replay-prep slices* (:func:`publish_prep` /
+:func:`attach_prep`): the serialised derived layers of
+:mod:`repro.uarch.replay_vec`, published once by whichever worker
+built them so batch followers attach the predictor bits, cache-level
+and BTB tables zero-copy instead of recomputing them.  Prep segments
+live under the same run prefix (tagged ``p``), so the engine's
+run-end sweep reclaims them identically.
+
 ``REPRO_SHM=0`` disables the plane entirely (workers fall back to the
 per-process LRU + disk container path, bit-identically).
 """
@@ -216,6 +224,80 @@ def _publish(prefix: str, key: str, trace: Trace) -> Optional[str]:
     finally:
         shm.close()
     return name
+
+
+# ----------------------------------------------------------- prep segments
+
+#: First 8 bytes of a serialised replay-prep slice (the container's
+#: own magic doubles as the segment readiness flag: it is copied into
+#: the segment *last*, same discipline as the trace plane).
+_PREP_MAGIC = b"RPPREP1\x00"
+
+
+def prep_segment_name(prefix: str, key: str) -> str:
+    """Prep segments share the run prefix (so run-end cleanup sweeps
+    them too) but carry a ``p`` tag so a trace key and a prep key can
+    never collide within the 16-char name budget."""
+    return prefix + "p" + key[: _KEY_CHARS - 1]
+
+
+def publish_prep(key: str, blob: bytes) -> Optional[str]:
+    """Publish a serialised prep slice under the active run prefix.
+
+    Same contract as :func:`publish_trace`: returns the segment name
+    when this call created it, ``None`` when the plane is inactive or
+    someone else won the create race; never raises."""
+    prefix = active_prefix()
+    if prefix is None or len(blob) <= len(_PREP_MAGIC):
+        return None
+    try:
+        from multiprocessing import shared_memory
+
+        name = prep_segment_name(prefix, key)
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=len(blob)
+            )
+        except FileExistsError:
+            return None
+        _unregister(shm)
+        try:
+            buf = shm.buf
+            buf[len(_PREP_MAGIC) : len(blob)] = blob[len(_PREP_MAGIC) :]
+            # Readiness flag last (the container magic itself).
+            buf[: len(_PREP_MAGIC)] = blob[: len(_PREP_MAGIC)]
+        finally:
+            shm.close()
+        return name
+    except Exception:
+        return None
+
+
+def attach_prep(key: str) -> Optional[memoryview]:
+    """Map a published prep slice; returns the segment's buffer (the
+    serialised container, possibly with page-rounding slack the parser
+    ignores) or ``None`` when inactive/absent/not-yet-ready.  The
+    caller's numpy views keep the mapping alive through their ``base``
+    chain, so no explicit backing object is needed."""
+    prefix = active_prefix()
+    if prefix is None:
+        return None
+    try:
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(
+                name=prep_segment_name(prefix, key)
+            )
+        except (FileNotFoundError, OSError, ValueError):
+            return None
+        _unregister(shm)
+        if bytes(shm.buf[: len(_PREP_MAGIC)]) != _PREP_MAGIC:
+            _close_quietly(shm)
+            return None  # mid-publish: not ready yet
+        return _disarm(shm)
+    except Exception:
+        return None
 
 
 # ------------------------------------------------------------------- attach

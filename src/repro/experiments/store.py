@@ -280,6 +280,29 @@ class FileStore(StoreProtocol):
     def contains(self, name: str) -> bool:
         return self.path_for(name).exists()
 
+    def verify_blob(self, name: str) -> str:
+        """Offline integrity check of one blob against its sidecar.
+
+        Returns ``"ok"`` (digest matches), ``"mismatch"`` (bytes do
+        not hash to the recorded digest -- a torn or corrupted blob),
+        ``"unverified"`` (no sidecar: a pre-sidecar write, served
+        as-is by :meth:`get`), or ``"missing"`` (no blob).  Unlike
+        :meth:`get` this moves no counters and quarantines nothing --
+        it exists for ``repro cache verify``, which decides what to do
+        with the report."""
+        path = self.path_for(name)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return "missing"
+        try:
+            recorded = self._sidecar(name).read_text().strip()
+        except OSError:
+            return "unverified"
+        if hashlib.sha256(blob).hexdigest() != recorded:
+            return "mismatch"
+        return "ok"
+
     def delete(self, name: str) -> None:
         for victim in (self.path_for(name), self._sidecar(name)):
             try:

@@ -46,7 +46,11 @@ caller falls back to the scalar oracle.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
+import struct
+import sys
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -770,6 +774,394 @@ def prep_layer_counts(trace: Trace) -> Dict[str, int]:
         "btbs": len(prep.btbs),
         "kernels": len(prep.kernels),
     }
+
+
+# ------------------------------------------------- persisted prep slices
+
+#: Bump when the prep container layout, the layer contents, or the
+#: slice keying changes: the key hashes the schema, so every persisted
+#: slice of an older version simply stops matching and is rebuilt.
+PREP_SCHEMA = 1
+
+_PREP_MAGIC = b"RPPREP1\x00"
+
+#: Array payloads of one slice, in canonical container order.  The
+#: ``pred_bits`` column is present only for live-predictor slices (a
+#: recorded slice's bits are the trace's own ``branch_pred`` column).
+_PREP_ARRAYS = (
+    "pred_bits",
+    "ras_bits",
+    "act",
+    "acc_pos",
+    "acc_prev_misp",
+    "fetch_add",
+    "load_lat",
+    "load_miss",
+    "store_lat",
+    "store_miss",
+    "btb_io_events",
+    "btb_io_bits",
+    "btb_ooo_events",
+    "btb_ooo_bits",
+)
+
+#: Integer counters of one slice (stream + mem + per-core BTB misses).
+_PREP_COUNTERS = (
+    "cond_mispredicts",
+    "resolve_mispredicts",
+    "ras_mispredicts",
+    "taken_redirects_inorder",
+    "taken_redirects_ooo",
+    "icache_misses",
+    "icache_under",
+    "btb_io_misses",
+    "btb_ooo_misses",
+)
+
+
+def prep_config_class(config: MachineConfig) -> Tuple:
+    """The configuration fields the prep layers actually depend on --
+    RAS depth, the full cache geometry, and BTB capacity.  Width,
+    ports, front-end depth and bubble counts only feed the serial
+    kernels, so sweeps over them share one slice."""
+    h = config.hierarchy
+    return (
+        config.ras_entries,
+        h.l1d_bytes, h.l1d_assoc, h.l1i_bytes, h.l1i_assoc,
+        h.l2_bytes, h.l2_assoc, h.l3_bytes, h.l3_assoc,
+        h.line_bytes, h.l1_latency, h.l2_latency, h.l3_latency,
+        h.dram_latency, bool(h.next_line_prefetch),
+        config.btb_entries,
+    )
+
+
+def prep_mode_key(trace: Trace, config: MachineConfig):
+    """The prediction-mode component of a slice key: ``"recorded"``,
+    ``("live", pid)``, or ``None`` when no safe cross-process key
+    exists (unnameable factory, or a decomposed trace under a foreign
+    predictor -- replay itself refuses that combination)."""
+    pid = predictor_id(config.predictor_factory)
+    if pid is not None and trace.meta.get("predictor") == pid:
+        return "recorded"
+    if trace.meta.get("has_decomposed") or pid is None:
+        return None
+    return ("live", pid)
+
+
+def prep_slice_key(
+    program, trace: Trace, config: MachineConfig
+) -> Optional[str]:
+    """Content address of one persisted prep slice:
+    ``sha256(schema, trace content digest, mode, config class)``.
+    Changing any component -- a recaptured trace, a different
+    predictor, a resized cache/BTB/RAS, a container schema bump --
+    yields a different key, so invalidation is automatic and stale
+    slices are never consulted."""
+    mode = prep_mode_key(trace, config)
+    if mode is None:
+        return None
+    return hashlib.sha256(
+        json.dumps(
+            {
+                "kind": "prep",
+                "schema": PREP_SCHEMA,
+                "trace": trace.content_digest(),
+                "mode": list(mode) if isinstance(mode, tuple) else mode,
+                "config": list(prep_config_class(config)),
+            },
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def _slice_keys(trace: Trace, config: MachineConfig):
+    """(mode_key, stream_key, mem_key, btb keys) for one config, or
+    ``None`` -- the in-process dict keys a slice plants layers under."""
+    mode = prep_mode_key(trace, config)
+    if mode is None:
+        return None
+    h = config.hierarchy
+    geometry = (
+        h.l1d_bytes, h.l1d_assoc, h.l1i_bytes, h.l1i_assoc,
+        h.l2_bytes, h.l2_assoc, h.l3_bytes, h.l3_assoc,
+        h.line_bytes, h.l1_latency, h.l2_latency, h.l3_latency,
+        h.dram_latency, h.next_line_prefetch,
+    )
+    stream_key = (mode, config.ras_entries)
+    return (
+        mode,
+        stream_key,
+        (stream_key, geometry),
+        ("inorder", mode, config.btb_entries),
+        ("ooo", mode, config.btb_entries),
+    )
+
+
+def prep_slice_ready(program, trace: Trace, config: MachineConfig) -> bool:
+    """Whether every layer a slice would carry is already attached to
+    ``trace._prep`` (both cores' BTB sets included)."""
+    keys = _slice_keys(trace, config)
+    if keys is None:
+        return False
+    mode, stream_key, mem_key, btb_io, btb_ooo = keys
+    prep = trace._prep
+    return (
+        prep is not None
+        and prep.source_id == id(predecode(program).rows)
+        and mode in prep.pred_bits
+        and config.ras_entries in prep.ras_bits
+        and stream_key in prep.streams
+        and mem_key in prep.mems
+        and btb_io in prep.btbs
+        and btb_ooo in prep.btbs
+    )
+
+
+def build_prep_slice(
+    program, trace: Trace, config: MachineConfig
+) -> Optional[bytes]:
+    """Compute (or reuse) every layer one slice covers and serialise
+    it: the container holds numpy columns for the predictor bits (live
+    mode), RAS bits, the stream action codes, the cache-level pre-pass
+    outputs, and both cores' BTB miss sets, plus the derived counters.
+    ``None`` when the trace falls outside the vectorized path or has
+    no safe slice key."""
+    keys = _slice_keys(trace, config)
+    if keys is None:
+        return None
+    mode, stream_key, mem_key, btb_io, btb_ooo = keys
+    recorded = mode == "recorded"
+    # Warm both cores so one persisted slice serves in-order and OOO
+    # replays alike (the OOO BTB event set is PREDICTs only -- cheap).
+    if _prepare(program, trace, config, recorded, "inorder") is None:
+        return None
+    if _prepare(program, trace, config, recorded, "ooo") is None:
+        return None
+    prep = trace._prep
+    stream = prep.streams[stream_key]
+    mem = prep.mems[mem_key]
+    io_events, io_bits, io_misses = prep.btbs[btb_io]
+    ooo_events, ooo_bits, ooo_misses = prep.btbs[btb_ooo]
+
+    arrays: Dict[str, np.ndarray] = {
+        "ras_bits": np.ascontiguousarray(
+            prep.ras_bits[config.ras_entries]
+        ),
+        "act": stream["act_np"],
+        "acc_pos": np.ascontiguousarray(stream["acc_pos"], np.int64),
+        "acc_prev_misp": np.ascontiguousarray(stream["acc_prev_misp"]),
+        "fetch_add": np.asarray(mem["fetch_add"], np.int64),
+        "load_lat": np.ascontiguousarray(mem["load_lat_np"], np.int64),
+        "load_miss": np.ascontiguousarray(mem["load_miss_np"]),
+        "store_lat": np.ascontiguousarray(mem["store_lat_np"], np.int64),
+        "store_miss": np.ascontiguousarray(mem["store_miss_np"]),
+        "btb_io_events": np.ascontiguousarray(io_events, np.int64),
+        "btb_io_bits": np.ascontiguousarray(io_bits),
+        "btb_ooo_events": np.ascontiguousarray(ooo_events, np.int64),
+        "btb_ooo_bits": np.ascontiguousarray(ooo_bits),
+    }
+    if not recorded:
+        arrays["pred_bits"] = np.ascontiguousarray(
+            prep.pred_bits[mode], np.uint8
+        )
+    counters = {
+        "cond_mispredicts": stream["cond_mispredicts"],
+        "resolve_mispredicts": stream["resolve_mispredicts"],
+        "ras_mispredicts": stream["ras_mispredicts"],
+        "taken_redirects_inorder": stream["taken_redirects_inorder"],
+        "taken_redirects_ooo": stream["taken_redirects_ooo"],
+        "icache_misses": mem["icache_misses"],
+        "icache_under": mem["icache_under"],
+        "btb_io_misses": io_misses,
+        "btb_ooo_misses": ooo_misses,
+    }
+
+    descriptors: List[Dict] = []
+    payloads: List[np.ndarray] = []
+    body = 0
+    for name in _PREP_ARRAYS:
+        arr = arrays.get(name)
+        if arr is None:
+            continue
+        body = _align8(body)
+        descriptors.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "count": int(arr.size),
+                "offset": body,
+                "nbytes": int(arr.nbytes),
+            }
+        )
+        payloads.append(arr)
+        body += arr.nbytes
+    header = json.dumps(
+        {
+            "schema": PREP_SCHEMA,
+            "byteorder": sys.byteorder,
+            "trace": trace.content_digest(),
+            "mode": list(mode) if isinstance(mode, tuple) else mode,
+            "config": list(prep_config_class(config)),
+            "counters": counters,
+            "arrays": descriptors,
+        },
+        sort_keys=True,
+    ).encode()
+    data_start = _align8(len(_PREP_MAGIC) + 4 + len(header))
+    out = bytearray(data_start + body)
+    out[: len(_PREP_MAGIC)] = _PREP_MAGIC
+    struct.pack_into("<I", out, len(_PREP_MAGIC), len(header))
+    out[len(_PREP_MAGIC) + 4 : len(_PREP_MAGIC) + 4 + len(header)] = header
+    for descriptor, arr in zip(descriptors, payloads):
+        offset = data_start + descriptor["offset"]
+        out[offset : offset + arr.nbytes] = arr.tobytes()
+    return bytes(out)
+
+
+class PrepSliceError(Exception):
+    """A prep container failed validation (corrupt or mismatched)."""
+
+
+def _parse_prep_container(buf) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """(header, name -> zero-copy array view) of one container.
+
+    ``buf`` may be ``bytes`` (a verified disk blob) or a memoryview
+    over a shared-memory segment; either way the returned arrays view
+    the buffer without copying.  Raises :class:`PrepSliceError` on any
+    structural problem."""
+    if len(buf) < len(_PREP_MAGIC) + 4:
+        raise PrepSliceError("truncated container")
+    if bytes(buf[: len(_PREP_MAGIC)]) != _PREP_MAGIC:
+        raise PrepSliceError("bad magic")
+    (header_len,) = struct.unpack_from("<I", buf, len(_PREP_MAGIC))
+    start = len(_PREP_MAGIC) + 4
+    if start + header_len > len(buf):
+        raise PrepSliceError("truncated header")
+    try:
+        header = json.loads(bytes(buf[start : start + header_len]))
+    except ValueError as exc:
+        raise PrepSliceError(f"unreadable header: {exc}") from None
+    if not isinstance(header, dict) or header.get("schema") != PREP_SCHEMA:
+        raise PrepSliceError(f"wrong schema: {header.get('schema')!r}")
+    if header.get("byteorder") != sys.byteorder:
+        raise PrepSliceError("foreign byte order")
+    descriptors = header.get("arrays")
+    counters = header.get("counters")
+    if not isinstance(descriptors, list) or not isinstance(counters, dict):
+        raise PrepSliceError("malformed header")
+    data_start = _align8(start + header_len)
+    arrays: Dict[str, np.ndarray] = {}
+    for descriptor in descriptors:
+        try:
+            name = descriptor["name"]
+            offset = data_start + descriptor["offset"]
+            if offset + descriptor["nbytes"] > len(buf):
+                raise PrepSliceError(f"truncated column {name!r}")
+            arrays[name] = np.frombuffer(
+                buf,
+                dtype=np.dtype(descriptor["dtype"]),
+                count=descriptor["count"],
+                offset=offset,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PrepSliceError(f"bad descriptor: {exc}") from None
+    missing = [
+        name
+        for name in _PREP_ARRAYS
+        if name != "pred_bits" and name not in arrays
+    ]
+    if missing:
+        raise PrepSliceError(f"missing columns: {missing}")
+    return header, arrays
+
+
+def attach_prep_slice(
+    program, trace: Trace, config: MachineConfig, buf
+) -> bool:
+    """Plant a serialised slice's layers onto ``trace._prep``.
+
+    Validates the container *and* its key fields against what this
+    (program, trace, config) would compute -- a slice for a different
+    trace digest, mode, or config class is rejected (``False``), as is
+    any structural corruption, and the caller rebuilds from scratch.
+    The planted arrays are zero-copy views over ``buf``; prep layers
+    are read-only to the kernels, so a shared-memory buffer may back
+    any number of attached traces at once."""
+    keys = _slice_keys(trace, config)
+    if keys is None:
+        return False
+    mode, stream_key, mem_key, btb_io, btb_ooo = keys
+    try:
+        header, arrays = _parse_prep_container(buf)
+    except PrepSliceError:
+        return False
+    expected_mode = list(mode) if isinstance(mode, tuple) else mode
+    if (
+        header.get("trace") != trace.content_digest()
+        or header.get("mode") != expected_mode
+        or header.get("config") != list(prep_config_class(config))
+    ):
+        return False
+    recorded = mode == "recorded"
+    if not recorded and "pred_bits" not in arrays:
+        return False
+    counters = header["counters"]
+    try:
+        counter_values = {
+            name: int(counters[name]) for name in _PREP_COUNTERS
+        }
+    except (KeyError, TypeError, ValueError):
+        return False
+
+    source_id = id(predecode(program).rows)
+    prep = trace._prep
+    if prep is None or prep.source_id != source_id:
+        prep = ReplayPrep(source_id)
+        trace._prep = prep
+    if recorded:
+        # Recorded bits are the trace's own column; plant them so the
+        # readiness probe and ``_prepare`` both see the layer filled.
+        prep.pred_bits[mode] = trace.column("branch_pred")
+    else:
+        prep.pred_bits[mode] = arrays["pred_bits"]
+    prep.ras_bits[config.ras_entries] = arrays["ras_bits"]
+    prep.streams[stream_key] = {
+        "act_np": arrays["act"],
+        "acc_pos": arrays["acc_pos"],
+        "acc_prev_misp": arrays["acc_prev_misp"],
+        "cond_mispredicts": counter_values["cond_mispredicts"],
+        "resolve_mispredicts": counter_values["resolve_mispredicts"],
+        "ras_mispredicts": counter_values["ras_mispredicts"],
+        "taken_redirects_inorder": counter_values[
+            "taken_redirects_inorder"
+        ],
+        "taken_redirects_ooo": counter_values["taken_redirects_ooo"],
+    }
+    prep.mems[mem_key] = {
+        # The serial kernels iterate this column as a plain list.
+        "fetch_add": arrays["fetch_add"].tolist(),
+        "icache_misses": counter_values["icache_misses"],
+        "icache_under": counter_values["icache_under"],
+        "load_lat_np": arrays["load_lat"],
+        "load_miss_np": arrays["load_miss"],
+        "store_lat_np": arrays["store_lat"],
+        "store_miss_np": arrays["store_miss"],
+    }
+    prep.btbs[btb_io] = (
+        arrays["btb_io_events"],
+        arrays["btb_io_bits"],
+        counter_values["btb_io_misses"],
+    )
+    prep.btbs[btb_ooo] = (
+        arrays["btb_ooo_events"],
+        arrays["btb_ooo_bits"],
+        counter_values["btb_ooo_misses"],
+    )
+    return True
 
 
 # ------------------------------------------------------------------ kernels

@@ -227,7 +227,7 @@ class Trace:
     so the artifact store's LRU budget sees the true footprint.
     """
 
-    __slots__ = ("meta", "_views", "_prep", "_backing") + tuple(
+    __slots__ = ("meta", "_views", "_prep", "_backing", "_digest") + tuple(
         name for name, _ in _COLUMNS
     )
 
@@ -244,6 +244,9 @@ class Trace:
         #: attached through the shared trace plane); ``None`` for
         #: traces that own their columns.
         self._backing = None
+        #: Lazily computed :meth:`content_digest` (columns are
+        #: immutable after capture, so one hash serves forever).
+        self._digest: Optional[str] = None
 
     @classmethod
     def from_views(
@@ -311,6 +314,45 @@ class Trace:
         if prep is not None:
             total += prep.nbytes()
         return total
+
+    def content_digest(self) -> str:
+        """Content hash of the *captured stream itself*: the identity
+        meta fields plus every column's raw bytes.
+
+        The program digest in ``meta`` identifies what was run; this
+        digest identifies what was recorded -- derived artifacts keyed
+        on it (the persisted replay-prep slices of
+        :mod:`repro.uarch.replay_vec`) invalidate automatically when a
+        recapture produces different columns (new budget, new
+        predictor steering a decomposed program, a semantics change
+        reflected in ``meta['program']``).  Cached after the first
+        call; columns never mutate after capture.
+        """
+        if self._digest is not None:
+            return self._digest
+        digest = hashlib.sha256()
+        identity = {
+            name: self.meta.get(name)
+            for name in (
+                "schema", "program", "budget", "predictor",
+                "has_decomposed", "committed", "halted",
+            )
+        }
+        digest.update(
+            json.dumps(identity, sort_keys=True).encode()
+        )
+        for name, typecode in _COLUMNS:
+            column = getattr(self, name)
+            if isinstance(column, np.ndarray):
+                raw = column.tobytes()
+            elif typecode == "bits":
+                raw = bytes(column)
+            else:
+                raw = column.tobytes()
+            digest.update(name.encode())
+            digest.update(raw)
+        self._digest = digest.hexdigest()
+        return self._digest
 
     def max_outstanding_predicts(self, program) -> int:
         """High-water mark of PREDICTs awaiting their RESOLVE.
