@@ -45,6 +45,7 @@ every job succeeded (1 with failures, 130 on interrupt).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -206,6 +207,13 @@ def _cmd_motivation(args) -> None:
 
 
 def _cmd_bench(args) -> None:
+    if args.name == "report":
+        from .experiments import benchreport
+
+        index_path = benchreport.write_index()
+        print(benchreport.render_index(json.loads(index_path.read_text())))
+        print(f"\nwrote {index_path}")
+        return
     config = _config(args)
     outcome = run_benchmark(args.name, config, engine=_engine(args))
     if not outcome.ok:
@@ -368,7 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("ablations").set_defaults(func=_cmd_ablations)
 
     bench = sub.add_parser("bench")
-    bench.add_argument("name")
+    bench.add_argument(
+        "name",
+        help="benchmark name to run, or 'report' to aggregate every "
+        "results/BENCH_*.json perf snapshot into "
+        "results/BENCH_index.json and print the table",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     cache = sub.add_parser("cache")

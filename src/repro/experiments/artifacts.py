@@ -89,7 +89,11 @@ from ..branchpred import BranchStats, measure_trace
 from ..isa.decode import predecode
 from ..uarch import InOrderCore, MachineConfig, collect_branch_trace
 from ..uarch.ooo import OutOfOrderCore
-from ..uarch.replay import replay_inorder, replay_ooo
+from ..uarch.replay import (
+    replay_inorder,
+    replay_inorder_sweep,
+    replay_ooo,
+)
 from ..uarch.trace import (
     Trace,
     TraceCapture,
@@ -113,6 +117,10 @@ _COUNTER_NAMES = (
     "prep_misses",
     "prep_builds",
     "prep_quarantined",
+    "fused_passes",
+    "fused_points",
+    "fused_fallbacks",
+    "fused_diverges",
     "btrace_hits",
     "btrace_misses",
     "profile_hits",
@@ -715,6 +723,108 @@ class ArtifactStore:
         self.store_trace(key, trace)
         self._bump("trace_captures")
         return result
+
+    def simulate_inorder_sweep(
+        self,
+        program,
+        configs: List[MachineConfig],
+        max_instructions: int = 2_000_000,
+    ):
+        """Simulate one program under a whole sweep axis at once.
+
+        The sweep front door over :meth:`simulate_inorder`: configs
+        are grouped by ``(trace key, prep slice key)`` -- the content
+        address of the shared replay-prep slice -- and each group of
+        K > 1 points is scored by **one fused pass** over the trace
+        (:func:`repro.uarch.replay.replay_inorder_sweep`), carrying
+        all K lanes' serial state through a single region-memoised
+        walk.  Counter movement proves what happened: ``fused_passes``
+        / ``fused_points`` on fusion, ``fused_fallbacks`` when fusion
+        declined, ``fused_diverges`` when a fused lane failed
+        validation and the per-point path transparently re-ran the
+        group.  Results are returned in config order and are
+        bit-identical to K independent :meth:`simulate_inorder` calls
+        -- fused, fallen back, or per-point.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        if not replay_enabled():
+            return [
+                InOrderCore(config).run(
+                    program, max_instructions=max_instructions
+                )
+                for config in configs
+            ]
+        from ..uarch import replay_vec
+
+        has_decomposed = predecode(program).has_decomposed
+        results: List = [None] * len(configs)
+        trace_groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, config in enumerate(configs):
+            pid = predictor_id(config.predictor_factory)
+            if has_decomposed and pid is None:
+                # Unnameable predictor steering a decomposed program:
+                # no safe content address; run execute-driven.
+                results[index] = InOrderCore(config).run(
+                    program, max_instructions=max_instructions
+                )
+                continue
+            key = self._trace_key(
+                program, max_instructions, pid if has_decomposed else None
+            )
+            trace_groups.setdefault(key, []).append(index)
+
+        for key, members in trace_groups.items():
+            trace = self.load_trace(key)
+            if trace is None:
+                # First sight of this stream: capture with the first
+                # member (its execute-driven result is the answer for
+                # that point) and replay the rest from the new trace.
+                first = members[0]
+                capture = TraceCapture()
+                result = InOrderCore(configs[first]).run(
+                    program,
+                    max_instructions=max_instructions,
+                    capture=capture,
+                )
+                trace = capture.finish(
+                    program,
+                    result,
+                    max_instructions,
+                    predictor_id(configs[first].predictor_factory),
+                )
+                self.store_trace(key, trace)
+                self._bump("trace_captures")
+                results[first] = result
+                members = members[1:]
+                if not members:
+                    continue
+            slice_groups: "OrderedDict[object, List[int]]" = OrderedDict()
+            for index in members:
+                skey = replay_vec.prep_slice_key(
+                    program, trace, configs[index]
+                )
+                if skey is None:
+                    skey = ("unfused", index)
+                slice_groups.setdefault(skey, []).append(index)
+            for group in slice_groups.values():
+                self._ensure_prep(program, trace, configs[group[0]])
+                runs, outcome = replay_inorder_sweep(
+                    program, trace, [configs[i] for i in group]
+                )
+                self._bump("trace_replays", len(group))
+                if outcome == "fused":
+                    self._bump("fused_passes")
+                    self._bump("fused_points", len(group))
+                elif outcome == "diverged":
+                    self._bump("fused_diverges")
+                    self._bump("fused_fallbacks")
+                elif outcome == "fallback":
+                    self._bump("fused_fallbacks")
+                for index, run in zip(group, runs):
+                    results[index] = run
+        return results
 
     def simulate_ooo(
         self,

@@ -109,8 +109,17 @@ CACHE_SCHEMA = 1
 #: ``prep_misses``/``prep_builds``/``prep_quarantined`` plus
 #: ``shm_prep_publishes``/``shm_prep_attaches`` -- see
 #: :mod:`.artifacts`): a warm fleet shows exactly one ``prep_builds``
-#: per (trace, predictor, config class) and hits everywhere else.
-MANIFEST_SCHEMA = 7
+#: per (trace, predictor, config class) and hits everywhere else;
+#: v8 adds the sweep-fused replay counters to the per-job/total
+#: artifact blocks (``fused_passes``/``fused_points``/
+#: ``fused_fallbacks``/``fused_diverges`` -- see
+#: :meth:`.artifacts.ArtifactStore.simulate_inorder_sweep`) plus
+#: top-level ``totals.fused_passes``/``totals.fused_points``
+#: mirrors: a fused width sweep shows one ``fused_passes`` per
+#: (trace, prep slice) group covering K ``fused_points``, and any
+#: nonzero ``fused_diverges`` records a detected lane divergence
+#: that degraded to (bit-identical) per-point replay.
+MANIFEST_SCHEMA = 8
 
 #: Repo-level results directory (works for the src-layout checkout).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "results"
@@ -592,6 +601,7 @@ class ExperimentEngine:
         except ValueError:
             plan = None
         counts = self.status_counts()
+        artifact_totals = self.artifact_totals()
         out = {
             "schema": MANIFEST_SCHEMA,
             "written_unix": time.time(),
@@ -619,9 +629,11 @@ class ExperimentEngine:
                 "cache_misses": self.cache_misses,
                 "journal_hits": self.journal_hits,
                 "quarantined": self.cache_quarantined,
-                "artifacts": self.artifact_totals(),
+                "artifacts": artifact_totals,
                 "batches": self.batches,
                 "batch_points": self.batch_points,
+                "fused_passes": artifact_totals.get("fused_passes", 0),
+                "fused_points": artifact_totals.get("fused_points", 0),
                 "shm_segments_cleaned": self.shm_segments_cleaned,
                 "ok": counts["ok"],
                 "failed": counts["failed"],

@@ -40,6 +40,12 @@ Kinds:
   points of a fused batch*: simulates a mid-batch OOM kill and
   exercises spool recovery (completed points absorbed, only the
   unfinished remainder retried).
+* ``fused_diverge`` -- the sweep-fused replay pass
+  (:mod:`repro.uarch.replay_multi`) corrupts one seeded config lane's
+  stat accumulators right before lane validation: exercises
+  divergence detection, the automatic per-point fallback, and the
+  ``fused_diverges`` artifact counter that surfaces the degradation
+  in the run manifest.
 
 Distributed kinds (exercised by the queue backend in
 :mod:`.backends`):
@@ -66,8 +72,8 @@ Decisions are independent per kind.  ``crash``/``die``/``hang``/
 ``batch_die``/``lease_expire``/``worker_vanish`` hash the attempt
 number too, so a retried job may (deterministically) succeed on a
 later attempt; ``corrupt_cache``/``corrupt_trace``/``shm_leak``/
-``stale_heartbeat``/``torn_put``/``dup_complete`` are
-attempt-independent.
+``fused_diverge``/``stale_heartbeat``/``torn_put``/``dup_complete``
+are attempt-independent.
 """
 
 from __future__ import annotations
@@ -87,6 +93,7 @@ FAULT_KINDS = (
     "corrupt_trace",
     "shm_leak",
     "batch_die",
+    "fused_diverge",
     "lease_expire",
     "worker_vanish",
     "stale_heartbeat",
@@ -259,6 +266,26 @@ def should_batch_die(label: str, attempt: int) -> bool:
     """
     plan = plan_from_env()
     return plan is not None and plan.decide("batch_die", label, attempt)
+
+
+def fuse_diverge_lane(label: str, lanes: int) -> Optional[int]:
+    """Fused-replay decision: corrupt one lane of this fused pass?
+
+    Returns the seed-chosen lane index to corrupt, or ``None`` when
+    the fault does not fire.  Attempt-independent, like the other
+    data-corruption kinds: a fused pass over the same trace and sweep
+    always diverges (and always on the same lane), so the per-point
+    fallback -- not a retry of the fused pass -- is what restores the
+    results.
+    """
+    plan = plan_from_env()
+    if plan is None or lanes <= 0:
+        return None
+    if not plan.decide("fused_diverge", label):
+        return None
+    blob = f"{plan.seed}|fused_diverge_lane|{label}".encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") % lanes
 
 
 def should_expire_lease(label: str, attempt: int) -> bool:

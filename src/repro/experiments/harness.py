@@ -187,10 +187,14 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
     the same 4-wide simulations as the SPD column.
 
     The TRAIN profile comes from the shared artifact store and the
-    width loop runs on the trace fast path: the first width executes
-    with capture, the rest replay the committed stream bit-identically
-    (:mod:`repro.uarch.replay`).  The per-job artifact counter movement
-    is reported under ``"artifacts"`` (manifest schema 4).
+    width axis runs through the sweep front door
+    (:meth:`ArtifactStore.simulate_inorder_sweep`): the first sight of
+    a program executes once with capture, and the remaining widths are
+    scored by one *fused* replay pass over the captured stream
+    (bit-identical to per-width replays; ``REPRO_REPLAY_MULTI=0``
+    forces the per-point path).  The per-job artifact counter movement
+    is reported under ``"artifacts"`` (manifest schema 4; fused-pass
+    counters since schema 8).
     """
     from .artifacts import get_store
 
@@ -203,18 +207,20 @@ def run_seed(name: str, seed: int, config: RunConfig) -> Dict:
     metrics: Optional[BenchmarkMetrics] = None
     simulated_cycles = 0
     committed_instructions = 0
-    for width in config.widths:
-        machine = config.machine_for(width)
-        base_run = store.simulate_inorder(
-            baseline.program,
-            machine,
-            max_instructions=config.max_instructions,
-        )
-        dec_run = store.simulate_inorder(
-            decomposed.program,
-            machine,
-            max_instructions=config.max_instructions,
-        )
+    machines = [config.machine_for(width) for width in config.widths]
+    base_runs = store.simulate_inorder_sweep(
+        baseline.program,
+        machines,
+        max_instructions=config.max_instructions,
+    )
+    dec_runs = store.simulate_inorder_sweep(
+        decomposed.program,
+        machines,
+        max_instructions=config.max_instructions,
+    )
+    for width, base_run, dec_run in zip(
+        config.widths, base_runs, dec_runs
+    ):
         simulated_cycles += base_run.cycles + dec_run.cycles
         committed_instructions += (
             base_run.stats.committed + dec_run.stats.committed

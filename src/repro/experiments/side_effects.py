@@ -92,11 +92,15 @@ def _issue_job(payload) -> dict:
     mark = store.mark()
     machine = config.machine_for(4)
     baseline, decomposed = _compiled(name, config, store)
-    base_run = store.simulate_inorder(
-        baseline.program, machine, max_instructions=config.max_instructions
+    # Sweep front door (K=1 today; fuses for free once Fig. 14 grows
+    # a width axis).
+    [base_run] = store.simulate_inorder_sweep(
+        baseline.program, [machine],
+        max_instructions=config.max_instructions,
     )
-    dec_run = store.simulate_inorder(
-        decomposed.program, machine, max_instructions=config.max_instructions
+    [dec_run] = store.simulate_inorder_sweep(
+        decomposed.program, [machine],
+        max_instructions=config.max_instructions,
     )
     return {
         "increase": issued_increase_percent(base_run, dec_run),
@@ -187,12 +191,10 @@ def _icache_job(payload) -> dict:
     machine_32k = config.machine_for(4)
     machine_24k = machine_32k.with_icache_bytes(24 * 1024)
     baseline, decomposed = _compiled(name, config, store)
-    run_32k = store.simulate_inorder(
-        baseline.program, machine_32k,
-        max_instructions=config.max_instructions,
-    )
-    run_24k = store.simulate_inorder(
-        baseline.program, machine_24k,
+    # One sweep call; the two geometries address different prep
+    # slices, so the front door replays them per-point automatically.
+    run_32k, run_24k = store.simulate_inorder_sweep(
+        baseline.program, [machine_32k, machine_24k],
         max_instructions=config.max_instructions,
     )
     misses = run_32k.stats.icache_misses or 1

@@ -11,7 +11,7 @@ from .functional import (
     collect_branch_trace,
     execute,
 )
-from .replay import replay_inorder, replay_ooo
+from .replay import replay_inorder, replay_inorder_sweep, replay_ooo
 from .stats import SimStats
 from .trace import (
     Trace,
@@ -39,6 +39,7 @@ __all__ = [
     "predictor_id",
     "render_timeline",
     "replay_inorder",
+    "replay_inorder_sweep",
     "replay_ooo",
     "SimulationError",
     "SimulationResult",

@@ -65,6 +65,17 @@ def _vectorized_enabled() -> bool:
     return raw not in ("0", "false", "no", "off")
 
 
+def _multi_enabled() -> bool:
+    """Sweep fusion (:mod:`.replay_multi`) is the default for
+    multi-config replays; ``REPRO_REPLAY_MULTI=0`` forces per-point
+    replay.  Fusion is layered on the vectorized kernels' prep
+    tables, so forcing the scalar oracle disables fusion too."""
+    raw = os.environ.get("REPRO_REPLAY_MULTI", "").strip().lower()
+    if raw and raw in ("0", "false", "no", "off"):
+        return False
+    return _vectorized_enabled()
+
+
 def _describe(value) -> str:
     """Render an identity (content digest, predictor id) for an error
     message: hex digests cleanly shortened to ``head..tail``, anything
@@ -138,6 +149,62 @@ def replay_inorder(
         if stats is not None:
             return _final_state(program, trace, stats)
     return _replay_inorder_scalar(program, trace, config, recorded)
+
+
+def replay_inorder_sweep(
+    program,
+    trace: Trace,
+    configs,
+):
+    """Replay ``trace`` under every configuration of a sweep axis.
+
+    The sweep front door: configurations that differ only in width,
+    ports, front-end depth or bubble counts share one fused kernel
+    table, and (when ``REPRO_REPLAY_MULTI`` is on) are scored by one
+    fused pass (:mod:`.replay_multi`) instead of K serial walks.
+    Anything unfusable -- a single point, mixed recorded/live lanes,
+    a knob-forced oracle, a declined trace -- replays per-point
+    through :func:`replay_inorder`, so the results are *always*
+    bit-identical to K independent replays.
+
+    Returns ``(results, outcome)`` where ``outcome`` is ``"fused"``
+    (one pass scored every lane), ``"fallback"`` (fusion was
+    attempted but declined), ``"diverged"`` (a fused lane failed
+    validation and the per-point path re-ran the sweep), or
+    ``"per_point"`` (fusion was off or trivially inapplicable).
+    """
+    configs = [config or MachineConfig() for config in configs]
+    outcome = "per_point"
+    if len(configs) > 1 and _multi_enabled():
+        recorded_flags = [
+            _check_and_mode(program, trace, config) for config in configs
+        ]
+        if all(recorded_flags) or not any(recorded_flags):
+            from . import replay_multi
+
+            try:
+                stats_list = replay_multi.replay_inorder_multi_stats(
+                    program, trace, configs, recorded_flags[0]
+                )
+            except replay_multi.FusedLaneDivergence:
+                stats_list = None
+                outcome = "diverged"
+            else:
+                outcome = "fused" if stats_list is not None else "fallback"
+            if stats_list is not None:
+                return (
+                    [
+                        _final_state(program, trace, stats)
+                        for stats in stats_list
+                    ],
+                    outcome,
+                )
+        else:
+            outcome = "fallback"  # mixed recorded/live lanes
+    return (
+        [replay_inorder(program, trace, config) for config in configs],
+        outcome,
+    )
 
 
 def _replay_inorder_scalar(

@@ -158,6 +158,8 @@ class ReplayPrep:
     * ``streams``    -- per (mode, ras): action codes, resets, counters
     * ``mems``       -- per (stream, cache geometry): hit levels
     * ``btbs``       -- per (core, mode, btb_entries): miss bits
+    * ``regions``    -- per kernel key: the sweep-fused replay's
+      interned region table (:mod:`.replay_multi`)
     """
 
     __slots__ = (
@@ -169,6 +171,7 @@ class ReplayPrep:
         "mems",
         "btbs",
         "kernels",
+        "regions",
     )
 
     def __init__(self, source_id: int) -> None:
@@ -180,6 +183,7 @@ class ReplayPrep:
         self.mems: Dict = {}
         self.btbs: Dict = {}
         self.kernels: Dict = {}
+        self.regions: Dict = {}
 
     def nbytes(self) -> int:
         """Approximate footprint for the artifact store's LRU budget
@@ -201,6 +205,7 @@ class ReplayPrep:
         tables.extend(self.streams.values())
         tables.extend(self.mems.values())
         tables.extend(self.kernels.values())
+        tables.extend(self.regions.values())
         for table in tables:
             values = table.values() if isinstance(table, dict) else table
             for value in values:
@@ -762,7 +767,7 @@ def prep_layer_counts(trace: Trace) -> Dict[str, int]:
             name: 0
             for name in (
                 "base", "pred_bits", "ras_bits", "streams", "mems",
-                "btbs", "kernels",
+                "btbs", "kernels", "regions",
             )
         }
     return {
@@ -773,6 +778,7 @@ def prep_layer_counts(trace: Trace) -> Dict[str, int]:
         "mems": len(prep.mems),
         "btbs": len(prep.btbs),
         "kernels": len(prep.kernels),
+        "regions": len(prep.regions),
     }
 
 

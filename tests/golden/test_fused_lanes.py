@@ -1,0 +1,81 @@
+"""Sweep-fused replay lanes pinned to the simulator goldens.
+
+``tests/uarch/test_replay_multi.py`` proves fused == per-point replay;
+this file closes the loop to the *execute-driven* oracle: a fused
+width sweep over a captured trace must land, lane by lane, on the same
+``sim_goldens.json`` fingerprints the golden suite pins for the
+execute path.  One workload per suite kind keeps it tier-1 sized; the
+full 330-fingerprint sweep stays with ``test_bit_exactness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compiler import (
+    compile_baseline,
+    compile_decomposed,
+    profile_program,
+)
+from repro.ir import lower
+from repro.uarch import (
+    InOrderCore,
+    MachineConfig,
+    Trace,
+    TraceCapture,
+    predictor_id,
+    replay_inorder_sweep,
+)
+from repro.workloads import spec_benchmark
+
+from . import generate
+
+#: One workload per suite kind (int2006/fp2006/int2000/fp2000).
+_PICKS = ("h264ref", "bwaves", "bzip200", "ammp00")
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(generate.GOLDEN_PATH.read_text())["fingerprints"]
+
+
+@pytest.mark.parametrize("name", _PICKS)
+def test_fused_lanes_match_goldens(name, goldens):
+    spec = spec_benchmark(name, iterations=generate.ITERATIONS)
+    profile = profile_program(
+        lower(spec.build(seed=generate.TRAIN_SEED)),
+        max_instructions=generate.MAX_INSTRUCTIONS,
+    )
+    ref = spec.build(seed=generate.REF_SEED)
+    programs = {
+        "baseline": compile_baseline(ref, profile=profile).program,
+        "decomposed": compile_decomposed(ref, profile=profile).program,
+    }
+    capture_machine = MachineConfig.paper_default(width=4)
+    for kind, program in programs.items():
+        capture = TraceCapture()
+        result = InOrderCore(capture_machine).run(
+            program,
+            max_instructions=generate.MAX_INSTRUCTIONS,
+            capture=capture,
+        )
+        trace = Trace.from_bytes(
+            capture.finish(
+                program,
+                result,
+                generate.MAX_INSTRUCTIONS,
+                predictor_id(capture_machine.predictor_factory),
+            ).to_bytes()
+        )
+        machines = [
+            MachineConfig.paper_default(width=w) for w in generate.WIDTHS
+        ]
+        runs, outcome = replay_inorder_sweep(program, trace, machines)
+        assert outcome == "fused"
+        for width, run in zip(generate.WIDTHS, runs):
+            key = f"{name}/{kind}/w{width}"
+            assert generate.fingerprint_run(run) == goldens[key], (
+                f"fused replay lane diverged from golden for {key}"
+            )

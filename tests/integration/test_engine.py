@@ -142,7 +142,7 @@ class TestObservability:
         )
         engine.run_benchmark("h264ref", config)
         manifest = engine.manifest(config)
-        assert manifest["schema"] == 7
+        assert manifest["schema"] == 8
         block = manifest["engine"]
         assert block["run_id"] == "m3"
         assert block["resume"] is False

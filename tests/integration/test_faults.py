@@ -416,6 +416,96 @@ class TestInterruptResume:
         assert resumed.journal_hits == 1
 
 
+class TestFusedDivergence:
+    """``fused_diverge`` faults corrupt one lane's accumulators inside
+    a fused sweep pass.  Lane validation must detect the damage, throw
+    the whole pass away, replay the sweep per-point (bit-identical to
+    an undisturbed run), and count the degradation so the manifest
+    records it."""
+
+    def _sweep_setup(self, tmp_path, monkeypatch):
+        import dataclasses as dc
+
+        from repro.experiments.artifacts import ArtifactStore
+        from repro.experiments.harness import prepare_benchmark
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = dc.replace(RunConfig.quick(), widths=(2, 4, 8))
+        baseline, _ = prepare_benchmark(
+            "h264ref", config.ref_seeds[0], config
+        )
+        machines = [config.machine_for(w) for w in config.widths]
+        return config, baseline.program, machines
+
+    def test_detection_falls_back_per_point(self, tmp_path, monkeypatch):
+        import dataclasses as dc
+
+        from repro.experiments.artifacts import ArtifactStore
+
+        config, program, machines = self._sweep_setup(
+            tmp_path, monkeypatch
+        )
+        store = ArtifactStore(cache_dir=tmp_path)
+        clean = store.simulate_inorder_sweep(
+            program, machines, max_instructions=config.max_instructions
+        )
+        # Cold store: capture absorbs the first width, the remaining
+        # two lanes score in one fused pass.
+        assert store.counters["fused_passes"] == 1
+        assert store.counters["fused_points"] == 2
+        assert store.counters["fused_diverges"] == 0
+
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "fused_diverge:1.0@seed=5"
+        )
+        faulted = ArtifactStore(cache_dir=tmp_path)
+        degraded = faulted.simulate_inorder_sweep(
+            program, machines, max_instructions=config.max_instructions
+        )
+        # Warm trace: all three lanes fuse, the injected lane trips
+        # validation, and the pass degrades to per-point replay.
+        assert faulted.counters["fused_diverges"] == 1
+        assert faulted.counters["fused_fallbacks"] == 1
+        assert faulted.counters["fused_passes"] == 0
+        for a, b in zip(clean, degraded):
+            assert dc.asdict(a.stats) == dc.asdict(b.stats)
+            assert a.registers == b.registers
+            assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_manifest_records_degradation(self, tmp_path, monkeypatch):
+        import dataclasses as dc
+
+        # Three widths so a fused pass still happens after trace
+        # capture absorbs the first one.
+        config = dc.replace(RunConfig.quick(), widths=(2, 4, 8))
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "fused_diverge:1.0@seed=5"
+        )
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path, use_cache=False, run_id="fd"
+        )
+        outcomes = engine.run_benchmarks(["h264ref"], config)
+        assert all(o.ok for o in outcomes)
+        manifest = engine.manifest(config)
+        art = manifest["totals"]["artifacts"]
+        assert art.get("fused_diverges", 0) >= 1
+        assert art.get("fused_fallbacks", 0) >= 1
+        assert manifest["totals"]["fused_passes"] == 0
+        assert manifest["totals"]["fused_points"] == 0
+
+        # The degraded sweep is invisible in the numbers: a clean run
+        # scores identically.
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        clean = ExperimentEngine(jobs=1, use_cache=False).run_benchmarks(
+            ["h264ref"], config
+        )
+        clean_manifest_free = clean  # same shapes, no faults
+        for a, b in zip(outcomes, clean_manifest_free):
+            assert a.ok and b.ok
+            assert a.speedups == b.speedups
+            assert vars(a.metrics) == vars(b.metrics)
+
+
 class TestBenchmarkSweepAcceptance:
     """The ISSUE acceptance scenario at quick scale: a crash-injected
     sweep marks exactly the planned failures in a schema-3 manifest,
